@@ -1,0 +1,228 @@
+package passion
+
+// One benchmark per evaluation artifact of the paper. Each benchmark runs
+// the corresponding experiment configuration (accounting-only mode, so
+// the wall time measures the simulator itself) and reports the simulated
+// execution time as the custom metric "sim_s" — the quantity the paper's
+// tables report. Run everything at reduced scale with:
+//
+//	go test -bench=. -benchmem
+//
+// and at the paper's full scale with cmd/ooc-bench.
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/ooc-hpf/passion/internal/compiler"
+	"github.com/ooc-hpf/passion/internal/cost"
+	"github.com/ooc-hpf/passion/internal/exec"
+	"github.com/ooc-hpf/passion/internal/gaxpy"
+	"github.com/ooc-hpf/passion/internal/hpf"
+	"github.com/ooc-hpf/passion/internal/lu"
+	"github.com/ooc-hpf/passion/internal/oocarray"
+	"github.com/ooc-hpf/passion/internal/sim"
+)
+
+// benchN is the matrix extent used by the reduced-scale benchmarks. The
+// shapes of every series are scale-invariant; cmd/ooc-bench reruns them
+// at the paper's 1K/2K scale.
+const benchN = 256
+
+func runGaxpy(b *testing.B, variant string, procs int, cfg gaxpy.Config) float64 {
+	b.Helper()
+	var sec float64
+	for i := 0; i < b.N; i++ {
+		r, err := gaxpy.Variants[variant](sim.Delta(procs), cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sec = r.Stats.ElapsedSeconds()
+	}
+	b.ReportMetric(sec, "sim_s")
+	return sec
+}
+
+// BenchmarkFig10SlabRatio regenerates Figure 10: the column-slab
+// translation across slab ratios and processor counts.
+func BenchmarkFig10SlabRatio(b *testing.B) {
+	for _, procs := range []int{4, 16} {
+		for _, denom := range []int{8, 4, 2, 1} {
+			b.Run(fmt.Sprintf("p=%d/ratio=1_%d", procs, denom), func(b *testing.B) {
+				slab := benchN * benchN / procs / denom
+				runGaxpy(b, "column-slab", procs,
+					gaxpy.Config{N: benchN, SlabA: slab, SlabB: slab, Phantom: true})
+			})
+		}
+	}
+}
+
+// BenchmarkTable1RowVsColumn regenerates Table 1: all three variants on
+// the same grid of configurations.
+func BenchmarkTable1RowVsColumn(b *testing.B) {
+	for _, variant := range []string{"in-core", "column-slab", "row-slab"} {
+		for _, procs := range []int{4, 16} {
+			b.Run(fmt.Sprintf("%s/p=%d", variant, procs), func(b *testing.B) {
+				slab := benchN * benchN / procs / 8
+				if variant == "in-core" {
+					slab = benchN * benchN / procs
+				}
+				runGaxpy(b, variant, procs,
+					gaxpy.Config{N: benchN, SlabA: slab, SlabB: slab, Phantom: true})
+			})
+		}
+	}
+}
+
+// BenchmarkTable2MemoryAllocation regenerates Table 2: the row-slab
+// translation under different A/B slab splits at equal total memory.
+func BenchmarkTable2MemoryAllocation(b *testing.B) {
+	const procs = 4
+	unit := benchN / procs * benchN / 8 // an eighth of the OCLA
+	for _, split := range []struct {
+		name   string
+		aU, bU int
+	}{
+		{"even", 2, 2},
+		{"a-heavy", 3, 1},
+		{"b-heavy", 1, 3},
+	} {
+		b.Run(split.name, func(b *testing.B) {
+			runGaxpy(b, "row-slab", procs, gaxpy.Config{
+				N: benchN, SlabA: split.aU * unit, SlabB: split.bU * unit,
+				SlabC: unit, Phantom: true,
+			})
+		})
+	}
+}
+
+// BenchmarkEqCheckCostModel measures the analytic side of experiment E4:
+// evaluating Equations 3-6 and the Figure 14 selection.
+func BenchmarkEqCheckCostModel(b *testing.B) {
+	mach := sim.Delta(16)
+	g := cost.GaxpyParams{N: 1024, P: 16, SlabA: 65536, SlabB: 65536, SlabC: 65536}
+	for i := 0; i < b.N; i++ {
+		cands := cost.GaxpyCandidates(g)
+		if cost.Select(cands, mach) != 1 {
+			b.Fatal("selection changed")
+		}
+	}
+}
+
+// BenchmarkAblationPrefetch measures the prefetching design choice: the
+// row-slab translation with and without overlap.
+func BenchmarkAblationPrefetch(b *testing.B) {
+	const procs = 4
+	slab := benchN * benchN / procs / 8
+	for _, pre := range []bool{false, true} {
+		b.Run(fmt.Sprintf("prefetch=%v", pre), func(b *testing.B) {
+			runGaxpy(b, "row-slab", procs, gaxpy.Config{
+				N: benchN, SlabA: slab, SlabB: slab, Phantom: true,
+				Opts: oocarray.Options{Prefetch: pre},
+			})
+		})
+	}
+}
+
+// BenchmarkAblationSieve measures the data sieving design choice on
+// row-slab transfers.
+func BenchmarkAblationSieve(b *testing.B) {
+	const procs = 4
+	slab := benchN * benchN / procs / 8
+	for _, sieve := range []bool{false, true} {
+		b.Run(fmt.Sprintf("sieve=%v", sieve), func(b *testing.B) {
+			runGaxpy(b, "row-slab", procs, gaxpy.Config{
+				N: benchN, SlabA: slab, SlabB: slab, Phantom: true,
+				Opts: oocarray.Options{Sieve: sieve},
+			})
+		})
+	}
+}
+
+// BenchmarkCompile measures the compiler itself (both phases plus cost
+// analysis) on the Figure 3 program.
+func BenchmarkCompile(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := compiler.CompileSource(hpf.GaxpySource, compiler.Options{
+			N: 1024, Procs: 16, MemElems: 1 << 16, Policy: compiler.PolicySearch,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCompiledExecution measures the whole pipeline — compile then
+// interpret — against the hand-coded runtime path measured above.
+func BenchmarkCompiledExecution(b *testing.B) {
+	res, err := compiler.CompileSource(hpf.GaxpySource, compiler.Options{
+		N: benchN, Procs: 4, MemElems: benchN * benchN / 4 / 4,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var sec float64
+	for i := 0; i < b.N; i++ {
+		out, err := exec.Run(res.Program, sim.Delta(4), exec.Options{Phantom: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		sec = out.Stats.ElapsedSeconds()
+	}
+	b.ReportMetric(sec, "sim_s")
+}
+
+// BenchmarkRealRowSlab measures a real (non-phantom) out-of-core run with
+// actual file data movement and arithmetic, at a small size.
+func BenchmarkRealRowSlab(b *testing.B) {
+	const n, procs = 128, 4
+	slab := n * n / procs / 4
+	for i := 0; i < b.N; i++ {
+		r, err := gaxpy.RunRowSlab(sim.Delta(procs), gaxpy.Config{N: n, SlabA: slab, SlabB: slab})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			if err := r.VerifyC(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkLUPanelWidth measures the out-of-core LU application across
+// panel widths — the slab-size effect on a second workload.
+func BenchmarkLUPanelWidth(b *testing.B) {
+	for _, w := range []int{4, 16} {
+		b.Run(fmt.Sprintf("w=%d", w), func(b *testing.B) {
+			var sec float64
+			for i := 0; i < b.N; i++ {
+				r, err := lu.Run(sim.Delta(4), lu.Config{N: 128, PanelWidth: w})
+				if err != nil {
+					b.Fatal(err)
+				}
+				sec = r.Stats.ElapsedSeconds()
+			}
+			b.ReportMetric(sec, "sim_s")
+		})
+	}
+}
+
+// BenchmarkEwiseCompiledExecution measures the elementwise pattern
+// pipeline end to end.
+func BenchmarkEwiseCompiledExecution(b *testing.B) {
+	res, err := compiler.CompileSource(hpf.EwiseSource, compiler.Options{
+		N: benchN, Procs: 4, MemElems: benchN * 8,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var sec float64
+	for i := 0; i < b.N; i++ {
+		out, err := exec.Run(res.Program, sim.Delta(4), exec.Options{Phantom: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		sec = out.Stats.ElapsedSeconds()
+	}
+	b.ReportMetric(sec, "sim_s")
+}

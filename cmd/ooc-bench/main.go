@@ -1,0 +1,86 @@
+// ooc-bench regenerates the paper's evaluation artifacts — Figure 10,
+// Table 1, Table 2, the Equations 3-6 validation and the design-choice
+// ablations — on the simulated Touchstone Delta.
+//
+// Usage:
+//
+//	ooc-bench -experiment all                # paper scale, accounting mode
+//	ooc-bench -experiment table1 -n 256      # reduced scale
+//	ooc-bench -experiment table1 -real -n 256 # real data movement
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/ooc-hpf/passion/internal/cliutil"
+	"github.com/ooc-hpf/passion/internal/core"
+	"github.com/ooc-hpf/passion/internal/experiments"
+	"github.com/ooc-hpf/passion/internal/oocarray"
+	"github.com/ooc-hpf/passion/internal/sim"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", "fig10, table1, table2, eqcheck, ablations or all")
+		n          = flag.Int("n", 0, "matrix extent (0 = the paper's scale per experiment)")
+		procsList  = flag.String("procs", "", "comma-separated processor counts (default per experiment)")
+		ratioList  = flag.String("ratios", "", "comma-separated slab-ratio denominators, e.g. 8,4,2,1")
+		real       = flag.Bool("real", false, "move real data and do real arithmetic (slow at paper scale)")
+		sieve      = flag.Bool("sieve", false, "enable data sieving in the runtime")
+		prefetch   = flag.Bool("prefetch", false, "enable prefetching in the runtime")
+		csvPath    = flag.String("csv", "", "also write CSV output to this file (table1/fig10/table2)")
+		machine    = flag.String("machine", "delta", "machine model: delta (paper calibration) or modern (NVMe-class)")
+	)
+	flag.Parse()
+
+	params := experiments.Params{
+		N:    *n,
+		Real: *real,
+		Opts: oocarray.Options{Sieve: *sieve, Prefetch: *prefetch},
+	}
+	switch *machine {
+	case "delta":
+		params.Machine = sim.Delta
+	case "modern":
+		params.Machine = sim.Modern
+	default:
+		fatal(fmt.Errorf("unknown machine %q (want delta or modern)", *machine))
+	}
+	var err error
+	if params.Procs, err = cliutil.ParseInts(*procsList); err != nil {
+		fatal(err)
+	}
+	if params.Ratios, err = cliutil.ParseInts(*ratioList); err != nil {
+		fatal(err)
+	}
+
+	names := []string{*experiment}
+	if *experiment == "all" {
+		names = core.ExperimentNames
+	}
+	for _, name := range names {
+		text, csv, err := core.RunExperiment(name, params)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", name, err))
+		}
+		fmt.Printf("=== %s ===\n%s\n", name, text)
+		if *csvPath != "" && csv != "" {
+			path := *csvPath
+			if len(names) > 1 {
+				path = strings.TrimSuffix(path, ".csv") + "-" + name + ".csv"
+			}
+			if err := os.WriteFile(path, []byte(csv), 0o644); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("(csv written to %s)\n\n", path)
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ooc-bench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,57 @@
+// ooc-costs prints the analytic I/O cost model of Section 4.1 — the
+// compiler-side view with no execution: for each (N, P, slab ratio)
+// configuration, the Equations 3-6 closed forms for both translations and
+// the strategy the Figure 14 algorithm selects.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/ooc-hpf/passion/internal/cliutil"
+	"github.com/ooc-hpf/passion/internal/cost"
+	"github.com/ooc-hpf/passion/internal/sim"
+)
+
+func main() {
+	var (
+		n         = flag.Int("n", 1024, "matrix extent")
+		procsList = flag.String("procs", "4,16,32,64", "comma-separated processor counts")
+		ratioList = flag.String("ratios", "8,4,2,1", "comma-separated slab-ratio denominators")
+		sieve     = flag.Bool("sieve", false, "model row slabs with data sieving")
+	)
+	flag.Parse()
+
+	procs, err := cliutil.ParseInts(*procsList)
+	if err != nil {
+		fatal(err)
+	}
+	ratios, err := cliutil.ParseInts(*ratioList)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("Analytic I/O cost model, %dx%d GAXPY (per-processor metrics)\n", *n, *n)
+	fmt.Printf("%-5s %-6s %16s %16s %16s %16s %12s\n",
+		"P", "ratio", "col T_fetch(A)", "col T_data(A)", "row T_fetch(A)", "row T_data(A)", "selected")
+	for _, p := range procs {
+		mach := sim.Delta(p)
+		for _, r := range ratios {
+			ocla := *n * *n / p
+			m := ocla / r
+			g := cost.GaxpyParams{N: *n, P: p, SlabA: m, SlabB: m, SlabC: m, Sieve: *sieve}
+			cands := cost.GaxpyCandidates(g)
+			col, row := cands[0].Streams[0], cands[1].Streams[0]
+			sel := cands[cost.Select(cands, mach)].Label
+			fmt.Printf("%-5d %-6s %16d %16d %16d %16d %12s\n",
+				p, cliutil.RatioLabel(r), col.Fetches(), col.Elems(), row.Fetches(), row.Elems(), sel)
+		}
+	}
+	fmt.Println("\nT_fetch in slab transfers, T_data in elements; Equations 3-6 of the paper.")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ooc-costs:", err)
+	os.Exit(1)
+}

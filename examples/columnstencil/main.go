@@ -1,0 +1,75 @@
+// Compiled shift communication: a column stencil written as an HPF FORALL
+// with shifted references, z(:,k) = (x(:,k-1) + 2*x(:,k) + x(:,k+1))/4.
+// With the arrays distributed column-block, the shifted references cross
+// processor boundaries; the compiler's in-core phase detects this and the
+// emitted node program performs a boundary-column exchange with the
+// neighbors before the halo-augmented out-of-core sweep. (Compare with
+// examples/jacobi, where the same machinery is hand-written against the
+// runtime library.)
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/ooc-hpf/passion/internal/compiler"
+	"github.com/ooc-hpf/passion/internal/exec"
+	"github.com/ooc-hpf/passion/internal/sim"
+)
+
+const (
+	n     = 96
+	procs = 4
+)
+
+const source = `parameter (n=96, nprocs=4)
+real x(n,n), z(n,n)
+!hpf$ processors pr(nprocs)
+!hpf$ template d(n)
+!hpf$ distribute d(block) on pr
+!hpf$ align (*,:) with d :: x, z
+FORALL (k=2:n-1)
+  z(1:n,k) = (x(1:n,k-1) + 2*x(1:n,k) + x(1:n,k+1)) / 4
+end FORALL
+end
+`
+
+// fillX uses multiples of 4 so the /4 in the stencil stays exact.
+func fillX(i, j int) float64 { return float64(4 * ((i*3)%7 + (j*5)%9)) }
+
+func main() {
+	res, err := compiler.CompileSource(source, compiler.Options{MemElems: n * 6})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("pattern: %s\n", res.Analysis.Pattern)
+	fmt.Printf("communication analysis: %s\n\n", res.Analysis.Comm)
+	fmt.Printf("emitted node program:\n%s\n", res.Program.String())
+
+	out, err := exec.Run(res.Program, sim.Delta(procs), exec.Options{
+		Fill: map[string]func(int, int) float64{"x": fillX},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	comm := out.Stats.TotalComm()
+	fmt.Printf("simulated execution: %s\n", out.Stats)
+	fmt.Printf("shift communication: %d boundary-column messages\n", comm.MessagesSent)
+
+	z, err := out.ReadArray("z")
+	if err != nil {
+		log.Fatal(err)
+	}
+	for j := 0; j < n; j++ {
+		for i := 0; i < n; i++ {
+			var want float64
+			if j >= 1 && j <= n-2 {
+				want = (fillX(i, j-1) + 2*fillX(i, j) + fillX(i, j+1)) / 4
+			}
+			if z.At(i, j) != want {
+				log.Fatalf("z(%d,%d) = %g, want %g", i, j, z.At(i, j), want)
+			}
+		}
+	}
+	fmt.Println("stencil verified exactly (boundary columns untouched): OK")
+}

@@ -1,0 +1,55 @@
+// Out-of-core GAXPY matrix multiplication: the paper's running example,
+// end to end. The program compares the three translations the paper
+// studies — in-core, column-slab and row-slab — at a laptop-friendly
+// scale with real file I/O, prints a miniature Table 1 row, shows the
+// compiler making the same choice from the cost model, and verifies every
+// result exactly.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/ooc-hpf/passion/internal/compiler"
+	"github.com/ooc-hpf/passion/internal/gaxpy"
+	"github.com/ooc-hpf/passion/internal/hpf"
+	"github.com/ooc-hpf/passion/internal/sim"
+)
+
+func main() {
+	const (
+		n     = 256
+		procs = 4
+		ratio = 8 // slab = 1/8 of the out-of-core local array
+	)
+	ocla := n * n / procs
+	slab := ocla / ratio
+	mach := sim.Delta(procs)
+	cfg := gaxpy.Config{N: n, SlabA: slab, SlabB: slab}
+
+	fmt.Printf("GAXPY C = A*B, %dx%d over %d processors, slab ratio 1/%d\n\n", n, n, procs, ratio)
+	fmt.Printf("%-12s %12s %10s %12s %14s\n", "variant", "sim time", "slab I/O", "requests", "data moved")
+	for _, name := range []string{"in-core", "column-slab", "row-slab"} {
+		run, err := gaxpy.Variants[name](mach, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := run.VerifyC(); err != nil {
+			log.Fatal(err)
+		}
+		io := run.Stats.TotalIO()
+		fmt.Printf("%-12s %11.2fs %10d %12d %14d\n",
+			name, run.Stats.ElapsedSeconds(), io.SlabReads+io.SlabWrites, io.Requests(), io.Bytes())
+	}
+
+	// The compiler reaches the same conclusion from Equations 3-6 alone.
+	res, err := compiler.CompileSource(hpf.GaxpySource, compiler.Options{
+		N: n, Procs: procs, MemElems: 2*slab + n,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ncompiler's cost comparison (Figure 14 algorithm):\n%s", res.Report)
+	fmt.Printf("selected: %s\n", res.Program.Strategy)
+	fmt.Println("\nall three variants verified against the closed form: OK")
+}

@@ -1,0 +1,89 @@
+// Out-of-core 2-D Jacobi relaxation: a second workload class (the
+// loosely synchronous stencils the paper's introduction motivates) built
+// on the runtime library's stencil support.
+//
+// An n x n grid is distributed row-block over P processors; each
+// processor's block lives in a local array file and is swept in column
+// slabs with a one-column halo, while ghost rows are exchanged with the
+// neighboring processors each iteration. The result is verified exactly
+// against a sequential in-core reference (identical arithmetic per
+// element).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/ooc-hpf/passion/internal/iosim"
+	"github.com/ooc-hpf/passion/internal/matrix"
+	"github.com/ooc-hpf/passion/internal/mp"
+	"github.com/ooc-hpf/passion/internal/oocarray"
+	"github.com/ooc-hpf/passion/internal/sim"
+	"github.com/ooc-hpf/passion/internal/stencil"
+)
+
+const (
+	n        = 128
+	procs    = 4
+	iters    = 5
+	slabCols = 16
+)
+
+// initial is the starting grid: a hot top edge, a cold bottom edge, and a
+// deterministic interior pattern.
+func initial(i, j int) float64 {
+	switch {
+	case i == 0:
+		return 100
+	case i == n-1:
+		return -50
+	default:
+		return float64((i*7+j*3)%11) - 5
+	}
+}
+
+func main() {
+	fs := iosim.NewMemFS()
+	blocks := make([]*matrix.Matrix, procs) // final local blocks, per rank
+
+	stats, err := mp.Run(sim.Delta(procs), func(p *mp.Proc) error {
+		disk := iosim.NewDisk(fs, p.Config(), &p.Stats().IO)
+		grid, err := stencil.New(p, disk, "grid", n, oocarray.Options{})
+		if err != nil {
+			return err
+		}
+		defer grid.Close()
+		if err := grid.Fill(initial); err != nil {
+			return err
+		}
+		for it := 0; it < iters; it++ {
+			if err := grid.Sweep(slabCols, 10, stencil.Jacobi); err != nil {
+				return err
+			}
+		}
+		m, err := grid.ReadLocal()
+		if err != nil {
+			return err
+		}
+		blocks[p.Rank()] = m
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ref := stencil.Reference(n, iters, initial, stencil.Jacobi)
+	rows := n / procs
+	for rank, block := range blocks {
+		for j := 0; j < n; j++ {
+			for i := 0; i < rows; i++ {
+				if got, want := block.At(i, j), ref.At(rank*rows+i, j); got != want {
+					log.Fatalf("mismatch at global (%d,%d): %g vs %g", rank*rows+i, j, got, want)
+				}
+			}
+		}
+	}
+	fmt.Printf("jacobi: %d iterations of a %dx%d grid over %d processors, out of core\n", iters, n, n, procs)
+	fmt.Printf("simulated execution: %s\n", stats)
+	fmt.Println("verification against the sequential reference: exact match, OK")
+}

@@ -1,0 +1,44 @@
+// Out-of-core LU factorization: a PASSION-class application on top of
+// the runtime library. The matrix is column-block distributed; each panel
+// is factored after streaming every previously factored panel back from
+// disk, so the I/O volume is quadratic in the panel count — the same
+// reuse-driven trade-off the paper's cost model captures (Equations 3-4).
+// The example sweeps the panel width (the slab size) and verifies the
+// factors against the original matrix.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/ooc-hpf/passion/internal/lu"
+	"github.com/ooc-hpf/passion/internal/sim"
+)
+
+func main() {
+	const (
+		n     = 128
+		procs = 4
+	)
+	fmt.Printf("out-of-core LU of a %dx%d diagonally dominant matrix over %d processors\n\n", n, n, procs)
+	fmt.Printf("%-12s %12s %12s %14s %12s\n", "panel width", "panels", "panel reads", "data moved", "sim time")
+	for _, w := range []int{2, 4, 8, 16, 32} {
+		r, err := lu.Run(sim.Delta(procs), lu.Config{N: n, PanelWidth: w})
+		if err != nil {
+			log.Fatal(err)
+		}
+		diff, err := r.Verify()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if diff > 1e-9 {
+			log.Fatalf("w=%d: L*U deviates from A by %g", w, diff)
+		}
+		io := r.Stats.TotalIO()
+		fmt.Printf("%-12d %12d %12d %14d %11.2fs\n",
+			w, n/w, io.SlabReads, io.Bytes(), r.Stats.ElapsedSeconds())
+	}
+	fmt.Println("\nall panel widths verified: max |L*U - A| <= 1e-9")
+	fmt.Println("note the quadratic growth of panel reads as panels shrink — the")
+	fmt.Println("slab-size effect of Figure 10, on a different workload.")
+}

@@ -1,0 +1,104 @@
+package passion
+
+// Integration tests that build and run every example and smoke-test the
+// command-line tools as subprocesses, so `go test ./...` exercises the
+// same entry points a user would.
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+func runGo(t *testing.T, args ...string) string {
+	t.Helper()
+	cmd := exec.Command("go", args...)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go %s failed: %v\n%s", strings.Join(args, " "), err, out)
+	}
+	return string(out)
+}
+
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples are subprocess tests; skipped with -short")
+	}
+	cases := []struct {
+		dir  string
+		want string
+	}{
+		{"./examples/quickstart", "quickstart: OK"},
+		{"./examples/gaxpy", "all three variants verified"},
+		{"./examples/jacobi", "exact match, OK"},
+		{"./examples/transpose", "transpose verified: OK"},
+		{"./examples/scaledupdate", "both statements verified exactly: OK"},
+		{"./examples/lu", "all panel widths verified"},
+		{"./examples/columnstencil", "stencil verified exactly"},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(strings.TrimPrefix(tc.dir, "./examples/"), func(t *testing.T) {
+			t.Parallel()
+			out := runGo(t, "run", tc.dir)
+			if !strings.Contains(out, tc.want) {
+				t.Errorf("%s output missing %q:\n%s", tc.dir, tc.want, out)
+			}
+		})
+	}
+}
+
+func TestToolsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tool smoke tests are subprocesses; skipped with -short")
+	}
+	cases := []struct {
+		args []string
+		want []string
+	}{
+		{
+			[]string{"run", "./cmd/ooc-compile", "-n", "64", "-procs", "4", "-mem", "2048"},
+			[]string{"pattern: gaxpy", "* row-slab", "global_sum"},
+		},
+		{
+			[]string{"run", "./cmd/ooc-compile", "testdata/gaxpy.hpf"},
+			[]string{"pattern: gaxpy", "* row-slab"},
+		},
+		{
+			[]string{"run", "./cmd/ooc-compile", "testdata/scaledupdate.hpf"},
+			[]string{"pattern: elementwise", "* column-slab"},
+		},
+		{
+			[]string{"run", "./cmd/ooc-compile", "-mem", "1024", "testdata/columnstencil.hpf"},
+			[]string{"pattern: shifted", "shift_exchange"},
+		},
+		{
+			[]string{"run", "./cmd/ooc-run", "-n", "64", "-procs", "4", "-mem", "1024"},
+			[]string{"strategy row-slab", "verification: C matches"},
+		},
+		{
+			[]string{"run", "./cmd/ooc-costs", "-n", "256", "-procs", "4", "-ratios", "8,1"},
+			[]string{"row-slab", "Equations 3-6"},
+		},
+		{
+			[]string{"run", "./cmd/ooc-bench", "-experiment", "eqcheck", "-n", "64", "-procs", "4", "-ratios", "2"},
+			[]string{"all match: true"},
+		},
+		{
+			[]string{"run", "./cmd/ooc-bench", "-experiment", "table1", "-n", "64", "-procs", "4", "-ratios", "2", "-machine", "modern"},
+			[]string{"Table 1"},
+		},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.args[1], func(t *testing.T) {
+			t.Parallel()
+			out := runGo(t, tc.args...)
+			for _, want := range tc.want {
+				if !strings.Contains(out, want) {
+					t.Errorf("go %s output missing %q:\n%s", strings.Join(tc.args, " "), want, out)
+				}
+			}
+		})
+	}
+}

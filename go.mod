@@ -1,0 +1,3 @@
+module github.com/ooc-hpf/passion
+
+go 1.22

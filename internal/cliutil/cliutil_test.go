@@ -1,0 +1,54 @@
+package cliutil
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestParseInts(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    []int
+		wantErr bool
+	}{
+		{"", nil, false},
+		{"  ", nil, false},
+		{"4", []int{4}, false},
+		{"4,16,32,64", []int{4, 16, 32, 64}, false},
+		{" 8 , 2 ", []int{8, 2}, false},
+		{"4,x", nil, true},
+		{"4,,8", nil, true},
+	}
+	for _, c := range cases {
+		got, err := ParseInts(c.in)
+		if (err != nil) != c.wantErr {
+			t.Errorf("ParseInts(%q) error = %v, wantErr %v", c.in, err, c.wantErr)
+			continue
+		}
+		if !c.wantErr && !reflect.DeepEqual(got, c.want) {
+			t.Errorf("ParseInts(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestRatioLabel(t *testing.T) {
+	if RatioLabel(1) != "1" || RatioLabel(8) != "1/8" {
+		t.Error("ratio labels wrong")
+	}
+}
+
+func TestFormatBytes(t *testing.T) {
+	cases := map[int64]string{
+		0:       "0 B",
+		999:     "999 B",
+		1 << 10: "1.00 KiB",
+		1 << 20: "1.00 MiB",
+		1 << 30: "1.00 GiB",
+		3 << 19: "1.50 MiB",
+	}
+	for n, want := range cases {
+		if got := FormatBytes(n); got != want {
+			t.Errorf("FormatBytes(%d) = %q, want %q", n, got, want)
+		}
+	}
+}

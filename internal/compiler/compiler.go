@@ -1,0 +1,690 @@
+// Package compiler translates mini-HPF programs into out-of-core node
+// programs (plan.Program), following the paper's two-phase methodology:
+//
+// In-core phase (Section 3.2): evaluate the mapping directives, partition
+// each array into out-of-core local arrays, compute local bounds, and
+// detect the communication the statement pattern requires (here: the SUM
+// reduction across the distributed dimension, delivered to the owner of
+// the result column).
+//
+// Out-of-core phase (Sections 3.3 and 4): strip-mine the computation into
+// slabs that fit the node memory, enumerate candidate access
+// reorganizations, estimate each candidate's I/O cost (package cost),
+// select the cheapest (the Figure 14 algorithm), divide memory among the
+// competing arrays (Section 4.2.1), and emit the node + MP + I/O program.
+package compiler
+
+import (
+	"fmt"
+
+	"github.com/ooc-hpf/passion/internal/cost"
+	"github.com/ooc-hpf/passion/internal/dist"
+	"github.com/ooc-hpf/passion/internal/hpf"
+	"github.com/ooc-hpf/passion/internal/oocarray"
+	"github.com/ooc-hpf/passion/internal/plan"
+	"github.com/ooc-hpf/passion/internal/sim"
+)
+
+// MemPolicy selects how node memory is divided among the out-of-core
+// arrays (Section 4.2.1).
+type MemPolicy int
+
+// Memory allocation policies.
+const (
+	// PolicyEven splits memory equally among the streamed arrays.
+	PolicyEven MemPolicy = iota
+	// PolicyWeighted splits memory proportionally to each array's
+	// access frequency (pass count) — the paper's heuristic.
+	PolicyWeighted
+	// PolicySearch searches slab-size splits and keeps the one with the
+	// least estimated I/O time — the exhaustive form of Table 2.
+	PolicySearch
+)
+
+// String names the policy.
+func (p MemPolicy) String() string {
+	switch p {
+	case PolicyEven:
+		return "even"
+	case PolicyWeighted:
+		return "weighted"
+	case PolicySearch:
+		return "search"
+	default:
+		return fmt.Sprintf("MemPolicy(%d)", int(p))
+	}
+}
+
+// Options configures a compilation.
+type Options struct {
+	// Procs overrides the program's processor-count parameter (0 keeps
+	// the program's value).
+	Procs int
+	// N overrides the program's problem-size parameter (0 keeps it).
+	N int
+	// MemElems is the node memory available for slabs, in elements.
+	MemElems int
+	// Machine is the target machine model for cost estimation; the zero
+	// value means sim.Delta(procs).
+	Machine sim.Config
+	// Policy selects the memory allocation scheme.
+	Policy MemPolicy
+	// Force pins the strategy ("row-slab" or "column-slab"); empty lets
+	// the cost model decide.
+	Force string
+	// Sieve compiles row-slab transfers to use data sieving.
+	Sieve bool
+}
+
+// Pattern identifies the recognized statement class.
+type Pattern int
+
+// Recognized patterns.
+const (
+	// PatternGaxpy is the paper's reduction pattern (Figure 3).
+	PatternGaxpy Pattern = iota
+	// PatternEwise is a body of communication-free elementwise FORALLs.
+	PatternEwise
+	// PatternShift is a body of FORALLs with shifted column references,
+	// requiring boundary-column exchange.
+	PatternShift
+)
+
+// String names the pattern.
+func (p Pattern) String() string {
+	switch p {
+	case PatternEwise:
+		return "elementwise"
+	case PatternShift:
+		return "shifted"
+	default:
+		return "gaxpy"
+	}
+}
+
+// Analysis is the in-core phase result: the resolved problem and mapping
+// information plus the detected communication.
+type Analysis struct {
+	N       int
+	Procs   int
+	Pattern Pattern
+	// GridShape is the processor arrangement (one entry per axis).
+	GridShape []int
+	// A, B, C and Temp are the roles recognized in the GAXPY pattern,
+	// naming the source arrays.
+	A, B, C, Temp string
+	// Mappings holds the per-array HPF mappings.
+	Mappings map[string]*dist.Array
+	// ReduceDim is the SUM dimension (1-based, as written).
+	ReduceDim int
+	// Ewise holds the analysis of an elementwise program (PatternEwise).
+	Ewise *EwiseAnalysis
+	// Shift holds the analysis of a shifted-FORALL program
+	// (PatternShift).
+	Shift *ShiftAnalysis
+	// Comm describes the detected communication.
+	Comm string
+}
+
+// Result is a completed compilation.
+type Result struct {
+	Program    *plan.Program
+	Analysis   *Analysis
+	Candidates []cost.Candidate
+	Chosen     int
+	// Report is the human-readable cost comparison.
+	Report string
+}
+
+// Compile runs both phases on a parsed program.
+func Compile(prog *hpf.Program, opts Options) (*Result, error) {
+	an, err := analyze(prog, opts)
+	if err != nil {
+		return nil, err
+	}
+	// The "!hpf$ memory (m)" annotation provides the node memory when the
+	// caller does not; explicit options win.
+	if opts.MemElems <= 0 && prog.Memory != nil {
+		mem, err := hpf.Eval(prog.Memory, hpf.ParamEnv(prog))
+		if err != nil {
+			return nil, fmt.Errorf("compiler: memory directive: %w", err)
+		}
+		opts.MemElems = mem
+	}
+	if opts.MemElems <= 0 {
+		return nil, fmt.Errorf("compiler: MemElems must be positive (set Options.MemElems or add a !hpf$ memory directive)")
+	}
+	// The "!hpf$ out_of_core" annotation, when present, must cover every
+	// array the program maps (the companion PASSION work has programmers
+	// mark out-of-core arrays explicitly).
+	if len(prog.OutOfCore) > 0 {
+		marked := make(map[string]bool, len(prog.OutOfCore))
+		for _, name := range prog.OutOfCore {
+			if _, ok := prog.Array(name); !ok {
+				return nil, fmt.Errorf("compiler: out_of_core names undeclared array %q", name)
+			}
+			marked[name] = true
+		}
+		for name := range an.Mappings {
+			if !marked[name] {
+				return nil, fmt.Errorf("compiler: array %q is used but not listed in the out_of_core directive", name)
+			}
+		}
+	}
+	mach := opts.Machine
+	if mach.Procs == 0 {
+		mach = sim.Delta(an.Procs)
+	}
+	mach.Procs = an.Procs
+	if err := mach.Validate(); err != nil {
+		return nil, err
+	}
+	switch an.Pattern {
+	case PatternEwise:
+		return emitEwise(an, opts, mach)
+	case PatternShift:
+		return emitShift(an, opts, mach)
+	default:
+		return emitGaxpy(an, opts, mach)
+	}
+}
+
+// CompileSource parses and compiles in one step.
+func CompileSource(src string, opts Options) (*Result, error) {
+	prog, err := hpf.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return Compile(prog, opts)
+}
+
+// ---------------------------------------------------------------------------
+// In-core phase
+
+func analyze(prog *hpf.Program, opts Options) (*Analysis, error) {
+	env := hpf.ParamEnv(prog)
+
+	// Apply overrides by rebinding the parameters named in the
+	// PROCESSORS and TEMPLATE directives.
+	if prog.Processors == nil {
+		return nil, fmt.Errorf("compiler: missing !hpf$ processors directive")
+	}
+	if prog.Template == nil {
+		return nil, fmt.Errorf("compiler: missing !hpf$ template directive")
+	}
+	if prog.Distribute == nil {
+		return nil, fmt.Errorf("compiler: missing !hpf$ distribute directive")
+	}
+	if opts.Procs > 0 {
+		if len(prog.Processors.Sizes) != 1 {
+			return nil, fmt.Errorf("compiler: cannot override the processor count of a multi-dimensional grid")
+		}
+		if id, ok := prog.Processors.Size().(*hpf.Ident); ok {
+			env[id.Name] = opts.Procs
+		} else {
+			return nil, fmt.Errorf("compiler: cannot override a literal processor count")
+		}
+	}
+	if opts.N > 0 {
+		if id, ok := prog.Template.Size().(*hpf.Ident); ok {
+			env[id.Name] = opts.N
+		} else {
+			return nil, fmt.Errorf("compiler: cannot override a literal template extent")
+		}
+	}
+
+	// Processor arrangement: a 1-D count or a multi-dimensional grid.
+	gridShape := make([]int, 0, len(prog.Processors.Sizes))
+	procs := 1
+	for i, e := range prog.Processors.Sizes {
+		v, err := hpf.Eval(e, env)
+		if err != nil {
+			return nil, fmt.Errorf("compiler: processors extent %d: %w", i+1, err)
+		}
+		if v <= 0 {
+			return nil, fmt.Errorf("compiler: processors extent %d is %d", i+1, v)
+		}
+		gridShape = append(gridShape, v)
+		procs *= v
+	}
+
+	// Template: every extent must be the problem size n.
+	var n int
+	for i, e := range prog.Template.Sizes {
+		v, err := hpf.Eval(e, env)
+		if err != nil {
+			return nil, fmt.Errorf("compiler: template extent %d: %w", i+1, err)
+		}
+		if i == 0 {
+			n = v
+		} else if v != n {
+			return nil, fmt.Errorf("compiler: non-square templates are not supported (%d vs %d)", v, n)
+		}
+	}
+	if procs <= 0 || n <= 0 {
+		return nil, fmt.Errorf("compiler: nonpositive problem: n=%d procs=%d", n, procs)
+	}
+	tdims := len(prog.Template.Sizes)
+	if tdims != len(gridShape) {
+		return nil, fmt.Errorf("compiler: template has %d dimensions but the processor arrangement has %d",
+			tdims, len(gridShape))
+	}
+	for axis, extent := range gridShape {
+		if n%extent != 0 {
+			return nil, fmt.Errorf("compiler: n=%d must be a multiple of processor-grid axis %d (%d)", n, axis, extent)
+		}
+	}
+	if prog.Distribute.Template != prog.Template.Name {
+		return nil, fmt.Errorf("compiler: distribute names template %q, declared template is %q",
+			prog.Distribute.Template, prog.Template.Name)
+	}
+	if prog.Distribute.Procs != prog.Processors.Name {
+		return nil, fmt.Errorf("compiler: distribute targets %q, declared processors are %q",
+			prog.Distribute.Procs, prog.Processors.Name)
+	}
+	if len(prog.Distribute.Schemes) != tdims {
+		return nil, fmt.Errorf("compiler: distribute has %d schemes for a %d-dimensional template",
+			len(prog.Distribute.Schemes), tdims)
+	}
+	for _, scheme := range prog.Distribute.Schemes {
+		if scheme != "block" {
+			return nil, fmt.Errorf("compiler: only BLOCK distribution is supported for out-of-core arrays, got %q", scheme)
+		}
+	}
+
+	// Partition every aligned array: '*' axes collapse, ':' axes take
+	// the template's distributed axes in order.
+	mappings := make(map[string]*dist.Array)
+	for _, al := range prog.Aligns {
+		if al.With != prog.Template.Name {
+			return nil, fmt.Errorf("compiler: align with unknown template %q", al.With)
+		}
+		aligned := 0
+		for _, ax := range al.Pattern {
+			if ax == hpf.AxisAligned {
+				aligned++
+			}
+		}
+		if aligned != tdims {
+			return nil, fmt.Errorf("compiler: align pattern must align exactly %d axis/axes with the template, got %d",
+				tdims, aligned)
+		}
+		for _, name := range al.Arrays {
+			decl, ok := prog.Array(name)
+			if !ok {
+				return nil, fmt.Errorf("compiler: align names undeclared array %q", name)
+			}
+			if len(decl.Dims) != len(al.Pattern) {
+				return nil, fmt.Errorf("compiler: array %q has %d dims, align pattern has %d",
+					name, len(decl.Dims), len(al.Pattern))
+			}
+			maps := make([]dist.Map, len(decl.Dims))
+			axis := 0
+			for i, dim := range decl.Dims {
+				extent, err := hpf.Eval(dim, env)
+				if err != nil {
+					return nil, fmt.Errorf("compiler: array %q dim %d: %w", name, i+1, err)
+				}
+				if extent != n {
+					return nil, fmt.Errorf("compiler: array %q dim %d has extent %d; only n x n arrays (n=%d) are supported",
+						name, i+1, extent, n)
+				}
+				if al.Pattern[i] == hpf.AxisCollapsed {
+					maps[i] = dist.NewCollapsed(extent)
+				} else {
+					maps[i] = dist.NewBlock(extent, gridShape[axis])
+					axis++
+				}
+			}
+			var da *dist.Array
+			var err error
+			if tdims > 1 {
+				da, err = dist.NewGridArray(name, dist.NewGrid(gridShape...), maps...)
+			} else {
+				da, err = dist.NewArray(name, maps...)
+			}
+			if err != nil {
+				return nil, err
+			}
+			mappings[name] = da
+		}
+	}
+
+	an := &Analysis{N: n, Procs: procs, GridShape: gridShape, Mappings: mappings}
+	errGaxpy := matchGaxpy(prog, env, an)
+	if errGaxpy == nil {
+		an.Pattern = PatternGaxpy
+		return an, nil
+	}
+	errEwise := matchEwise(prog, env, an)
+	if errEwise == nil {
+		an.Pattern = PatternEwise
+		return an, nil
+	}
+	errShift := matchShift(prog, env, an)
+	if errShift == nil {
+		an.Pattern = PatternShift
+		return an, nil
+	}
+	return nil, fmt.Errorf("compiler: program matches no supported pattern\n  as gaxpy: %v\n  as elementwise: %v\n  as shifted: %v", errGaxpy, errEwise, errShift)
+}
+
+// matchGaxpy recognizes the paper's statement pattern:
+//
+//	do j = 1, n
+//	  FORALL (k = 1:n)
+//	    temp(1:n, k) = b(k, j) * a(1:n, k)
+//	  end FORALL
+//	  c(1:n, j) = SUM(temp, 2)
+//	end do
+//
+// and performs the communication analysis on it.
+func matchGaxpy(prog *hpf.Program, env map[string]int, an *Analysis) error {
+	fail := func(format string, args ...any) error {
+		return fmt.Errorf("compiler: unsupported program shape: "+format, args...)
+	}
+	if len(an.GridShape) != 1 {
+		return fail("the GAXPY pattern requires a 1-D processor arrangement")
+	}
+	if len(prog.Body) != 1 {
+		return fail("expected a single outer do loop, found %d statements", len(prog.Body))
+	}
+	do, ok := prog.Body[0].(*hpf.DoLoop)
+	if !ok {
+		return fail("outer statement must be a do loop")
+	}
+	if !spansWholeExtent(do.Lo, do.Hi, env, an.N) {
+		return fail("outer do must run 1..n")
+	}
+	if len(do.Body) != 2 {
+		return fail("do body must be a FORALL followed by a reduction assignment")
+	}
+	fa, ok := do.Body[0].(*hpf.Forall)
+	if !ok {
+		return fail("first statement in the do loop must be a FORALL")
+	}
+	if !spansWholeExtent(fa.Lo, fa.Hi, env, an.N) {
+		return fail("FORALL must run 1..n")
+	}
+	if len(fa.Body) != 1 {
+		return fail("FORALL body must be a single assignment")
+	}
+	asg := fa.Body[0].(*hpf.Assign)
+
+	// LHS: temp(1:n, k).
+	if len(asg.LHS.Subs) != 2 || !asg.LHS.Subs[0].IsRange() || asg.LHS.Subs[1].IsRange() {
+		return fail("FORALL assignment target must be temp(1:n, k)")
+	}
+	if !isVar(asg.LHS.Subs[1].Index, fa.Var) {
+		return fail("FORALL target's column subscript must be the FORALL index %q", fa.Var)
+	}
+	an.Temp = asg.LHS.Array
+
+	// RHS: scalar * section (in either order).
+	mul, ok := asg.RHS.(*hpf.BinOp)
+	if !ok || mul.Op != '*' {
+		return fail("FORALL right-hand side must be a product")
+	}
+	scalar, section := classifyProduct(mul)
+	if scalar == nil || section == nil {
+		return fail("FORALL product must combine a scalar reference with an array section")
+	}
+	// Scalar b(k, j): row subscript is the FORALL index, column the
+	// outer do index.
+	if len(scalar.Subs) != 2 || !isVar(scalar.Subs[0].Index, fa.Var) || !isVar(scalar.Subs[1].Index, do.Var) {
+		return fail("scalar operand must be %s(%s, %s)", scalar.Array, fa.Var, do.Var)
+	}
+	// Section a(1:n, k).
+	if len(section.Subs) != 2 || !section.Subs[0].IsRange() || !isVar(section.Subs[1].Index, fa.Var) {
+		return fail("section operand must be %s(1:n, %s)", section.Array, fa.Var)
+	}
+	an.B = scalar.Array
+	an.A = section.Array
+
+	// Reduction statement: c(1:n, j) = SUM(temp, 2).
+	red, ok := do.Body[1].(*hpf.Assign)
+	if !ok {
+		return fail("second statement in the do loop must be an assignment")
+	}
+	sum, ok := red.RHS.(*hpf.SumIntrinsic)
+	if !ok {
+		return fail("reduction right-hand side must be SUM(...)")
+	}
+	if sum.Arg.Array != an.Temp {
+		return fail("SUM must reduce the FORALL temporary %q, got %q", an.Temp, sum.Arg.Array)
+	}
+	dim, err := hpf.Eval(sum.Dim, env)
+	if err != nil || dim != 2 {
+		return fail("SUM dimension must be the constant 2")
+	}
+	an.ReduceDim = dim
+	if len(red.LHS.Subs) != 2 || !red.LHS.Subs[0].IsRange() || red.LHS.Subs[1].IsRange() ||
+		!isVar(red.LHS.Subs[1].Index, do.Var) {
+		return fail("reduction target must be c(1:n, %s)", do.Var)
+	}
+	an.C = red.LHS.Array
+
+	// Communication analysis. The required mappings for this pattern:
+	// a, c, temp distributed along dim 2 (column-block), b along dim 1
+	// (row-block), so the FORALL needs no communication and the SUM is a
+	// cross-processor global reduction delivered to the owner of the
+	// result column.
+	for _, name := range []string{an.A, an.B, an.C, an.Temp} {
+		if _, ok := an.Mappings[name]; !ok {
+			return fail("array %q has no ALIGN directive", name)
+		}
+	}
+	if an.Mappings[an.A].DistributedDim() != 1 || an.Mappings[an.C].DistributedDim() != 1 ||
+		an.Mappings[an.Temp].DistributedDim() != 1 {
+		return fail("%s, %s and %s must be distributed along dimension 2 (column-block)", an.A, an.C, an.Temp)
+	}
+	if an.Mappings[an.B].DistributedDim() != 0 {
+		return fail("%s must be distributed along dimension 1 (row-block)", an.B)
+	}
+	an.Comm = fmt.Sprintf(
+		"FORALL is communication-free (owner computes on local %s columns paired with local %s rows); "+
+			"SUM(%s,2) reduces across the distributed dimension -> global sum; "+
+			"owner of %s's column stores the result",
+		an.A, an.B, an.Temp, an.C)
+	return nil
+}
+
+// classifyProduct splits a product into its scalar reference (both
+// subscripts are single indices) and its section reference (has a range).
+func classifyProduct(mul *hpf.BinOp) (scalar, section *hpf.SectionRef) {
+	classify := func(e hpf.Expr) {
+		ref, ok := e.(*hpf.SectionRef)
+		if !ok {
+			return
+		}
+		hasRange := false
+		for _, s := range ref.Subs {
+			if s.IsRange() {
+				hasRange = true
+			}
+		}
+		if hasRange {
+			section = ref
+		} else {
+			scalar = ref
+		}
+	}
+	classify(mul.L)
+	classify(mul.R)
+	return scalar, section
+}
+
+func isVar(e hpf.Expr, name string) bool {
+	id, ok := e.(*hpf.Ident)
+	return ok && id.Name == name
+}
+
+// spansWholeExtent reports whether lo..hi evaluates to 1..n.
+func spansWholeExtent(lo, hi hpf.Expr, env map[string]int, n int) bool {
+	l, err1 := hpf.Eval(lo, env)
+	h, err2 := hpf.Eval(hi, env)
+	return err1 == nil && err2 == nil && l == 1 && h == n
+}
+
+// ---------------------------------------------------------------------------
+// Out-of-core phase
+
+func emitGaxpy(an *Analysis, opts Options, mach sim.Config) (*Result, error) {
+	n, p := an.N, an.Procs
+	colElems := n // one column of an n x n array
+	// C is written exactly once in both strategies; reserve a single
+	// column-slab for it and divide the rest between A and B.
+	slabC := colElems
+	budget := opts.MemElems - slabC
+	if budget < 2 {
+		return nil, fmt.Errorf("compiler: MemElems=%d leaves no slab memory after C's column (%d elements)",
+			opts.MemElems, slabC)
+	}
+
+	allocate := func(strategy func(cost.GaxpyParams) cost.Candidate) (slabA, slabB int) {
+		switch opts.Policy {
+		case PolicyWeighted:
+			// The paper's heuristic keys on how often the computation
+			// accesses each array, which the unreorganized reference
+			// pattern exposes: A's local array is needed for every one
+			// of the N result columns, B once (Section 4.2.1).
+			even := budget / 2
+			ref := cost.GaxpyColumnSlab(cost.GaxpyParams{N: n, P: p, SlabA: even, SlabB: even, SlabC: slabC})
+			w := cost.Frequencies(ref)
+			split := cost.WeightedSplit(budget, w[:2], colElems)
+			return split[0], split[1]
+		case PolicySearch:
+			step := colElems
+			if budget < 2*step {
+				step = 1
+			}
+			return cost.Allocate2(budget, step, func(ma, mb int) float64 {
+				g := cost.GaxpyParams{N: n, P: p, SlabA: ma, SlabB: mb, SlabC: slabC, Sieve: opts.Sieve}
+				return strategy(g).Seconds(mach)
+			})
+		default: // PolicyEven
+			return budget / 2, budget - budget/2
+		}
+	}
+
+	// Build both candidates, each under its own allocation.
+	colA, colB := allocate(cost.GaxpyColumnSlab)
+	rowA, rowB := allocate(cost.GaxpyRowSlab)
+	cands := []cost.Candidate{
+		cost.GaxpyColumnSlab(cost.GaxpyParams{N: n, P: p, SlabA: colA, SlabB: colB, SlabC: slabC, Sieve: opts.Sieve}),
+		cost.GaxpyRowSlab(cost.GaxpyParams{N: n, P: p, SlabA: rowA, SlabB: rowB, SlabC: slabC, Sieve: opts.Sieve}),
+	}
+	allocs := [][2]int{{colA, colB}, {rowA, rowB}}
+
+	chosen := cost.Select(cands, mach)
+	switch opts.Force {
+	case "":
+	case "column-slab":
+		chosen = 0
+	case "row-slab":
+		chosen = 1
+	default:
+		return nil, fmt.Errorf("compiler: unknown forced strategy %q", opts.Force)
+	}
+	slabA, slabB := allocs[chosen][0], allocs[chosen][1]
+
+	prg := buildProgram(an, cands[chosen].Label, slabA, slabB, slabC)
+	prg.Notes = append(prg.Notes, an.Comm)
+	if ocla := n * n / p; slabA >= ocla && slabB >= ocla {
+		prg.Notes = append(prg.Notes,
+			"slabs cover the whole out-of-core local arrays: the program degenerates to the in-core translation (each array read from disk once)")
+	}
+	prg.Notes = append(prg.Notes,
+		fmt.Sprintf("memory policy %s: slab(%s)=%d, slab(%s)=%d, slab(%s)=%d elements",
+			opts.Policy, an.A, slabA, an.B, slabB, an.C, slabC))
+	for i, c := range cands {
+		mark := ""
+		if i == chosen {
+			mark = " [selected]"
+		}
+		prg.Notes = append(prg.Notes, fmt.Sprintf("candidate %s: est. I/O %.2fs, %d fetches, %d elems%s",
+			c.Label, c.Seconds(mach), c.TotalFetches(), c.TotalElems(), mark))
+	}
+
+	return &Result{
+		Program:    prg,
+		Analysis:   an,
+		Candidates: cands,
+		Chosen:     chosen,
+		Report:     cost.Report(cands, chosen, mach),
+	}, nil
+}
+
+// buildProgram emits the IR for the chosen strategy.
+func buildProgram(an *Analysis, strategy string, slabA, slabB, slabC int) *plan.Program {
+	n, p := an.N, an.Procs
+	spec := func(name string, role plan.Role, slab int, dim oocarray.Dim) plan.ArraySpec {
+		m := an.Mappings[name]
+		return plan.ArraySpec{
+			Name: name, Rows: n, Cols: n,
+			RowScheme: m.Dims[0].Scheme, ColScheme: m.Dims[1].Scheme,
+			Role: role, SlabElems: slab, SlabDim: dim,
+		}
+	}
+	prg := &plan.Program{
+		Name:     "gaxpy",
+		N:        n,
+		Procs:    p,
+		Strategy: strategy,
+	}
+	a, b, c := an.A, an.B, an.C
+	bufA, bufB, stage, temp := "icla_"+a, "icla_"+b, "icla_"+c, "temp"
+	if strategy == "column-slab" {
+		prg.Arrays = []plan.ArraySpec{
+			spec(a, plan.In, slabA, oocarray.ByColumn),
+			spec(b, plan.In, slabB, oocarray.ByColumn),
+			spec(c, plan.Out, slabC, oocarray.ByColumn),
+		}
+		prg.Body = []plan.Node{
+			&plan.AutoStage{Array: c},
+			&plan.ResetCounter{},
+			&plan.Loop{Var: "l", Count: plan.CountExpr{SlabsOf: b}, Body: []plan.Node{
+				&plan.ReadSlab{Array: b, Index: "l", Buf: bufB, Stream: true},
+				&plan.Loop{Var: "m", Count: plan.CountExpr{ColsOf: bufB}, Body: []plan.Node{
+					&plan.ZeroVec{Vec: temp, RowsOfArray: a},
+					&plan.Loop{Var: "na", Count: plan.CountExpr{SlabsOf: a}, Body: []plan.Node{
+						&plan.ReadSlab{Array: a, Index: "na", Buf: bufA, Stream: true},
+						&plan.Loop{Var: "i", Count: plan.CountExpr{ColsOf: bufA}, Body: []plan.Node{
+							&plan.Axpy{Vec: temp, A: bufA, ACol: "i",
+								B: bufB, BRowBase: "na", BRowScale: a, BRowPlus: "i", BCol: "m"},
+						}},
+					}},
+					&plan.SumStore{Vec: temp, Array: c},
+				}},
+			}},
+			&plan.FlushStage{Array: c},
+		}
+		return prg
+	}
+	// Row-slab (Figure 12).
+	prg.Arrays = []plan.ArraySpec{
+		spec(a, plan.In, slabA, oocarray.ByRow),
+		spec(b, plan.In, slabB, oocarray.ByColumn),
+		spec(c, plan.Out, slabC, oocarray.ByColumn),
+	}
+	prg.Body = []plan.Node{
+		&plan.Loop{Var: "l", Count: plan.CountExpr{SlabsOf: a}, Body: []plan.Node{
+			&plan.ReadSlab{Array: a, Index: "l", Buf: bufA, Stream: true},
+			&plan.NewStaging{Array: c, Buf: stage, RowsLike: bufA},
+			&plan.ResetCounter{},
+			&plan.Loop{Var: "nb", Count: plan.CountExpr{SlabsOf: b}, Body: []plan.Node{
+				&plan.ReadSlab{Array: b, Index: "nb", Buf: bufB, Stream: true},
+				&plan.Loop{Var: "m", Count: plan.CountExpr{ColsOf: bufB}, Body: []plan.Node{
+					&plan.ZeroVec{Vec: temp, RowsLike: bufA},
+					&plan.Loop{Var: "i", Count: plan.CountExpr{ColsOf: bufA}, Body: []plan.Node{
+						&plan.Axpy{Vec: temp, A: bufA, ACol: "i",
+							B: bufB, BRowPlus: "i", BCol: "m"},
+					}},
+					&plan.SumStore{Vec: temp, Array: c},
+				}},
+			}},
+			&plan.WriteBuf{Array: c, Buf: stage},
+		}},
+	}
+	return prg
+}

@@ -1,0 +1,296 @@
+package compiler
+
+// The elementwise pattern class: communication-free FORALL statements
+// over identically aligned arrays, e.g.
+//
+//	FORALL (k = 1:n)
+//	  z(1:n,k) = 2*x(1:n,k) + y(1:n,k) - 1
+//	end FORALL
+//
+// Here the access reorganization question is not reuse (every array is
+// streamed exactly once) but *contiguity*: strip-mining along the storage
+// order (column slabs of the column-major local arrays) needs one disk
+// request per slab, strip-mining across it needs one request per local
+// column. The compiler builds both candidates and lets the cost model
+// decide — the same Figure 14 machinery as GAXPY, exercising its other
+// axis.
+
+import (
+	"fmt"
+
+	"github.com/ooc-hpf/passion/internal/cost"
+	"github.com/ooc-hpf/passion/internal/hpf"
+	"github.com/ooc-hpf/passion/internal/oocarray"
+	"github.com/ooc-hpf/passion/internal/plan"
+	"github.com/ooc-hpf/passion/internal/sim"
+)
+
+// EwiseStmt is one analyzed FORALL assignment.
+type EwiseStmt struct {
+	// Out is the target array; Ins lists the distinct input arrays in
+	// first-use order.
+	Out string
+	Ins []string
+	// Expr is the compiled elementwise expression; EBuf leaves name
+	// input buffers as "icla_<array>".
+	Expr plan.EExpr
+}
+
+// EwiseAnalysis is the in-core phase result for the elementwise pattern.
+type EwiseAnalysis struct {
+	Stmts []EwiseStmt
+	// Arrays lists every distinct array touched, in first-use order.
+	Arrays []string
+}
+
+// matchEwise recognizes a body consisting solely of FORALL constructs
+// whose assignments are elementwise over identically mapped arrays.
+func matchEwise(prog *hpf.Program, env map[string]int, an *Analysis) error {
+	fail := func(format string, args ...any) error {
+		return fmt.Errorf("not an elementwise program: "+format, args...)
+	}
+	if len(prog.Body) == 0 {
+		return fail("empty body")
+	}
+	ew := &EwiseAnalysis{}
+	seen := map[string]bool{}
+	addArray := func(name string) {
+		if !seen[name] {
+			seen[name] = true
+			ew.Arrays = append(ew.Arrays, name)
+		}
+	}
+
+	var refDist string // mapping signature all arrays must share
+	checkMapped := func(name string) error {
+		m, ok := an.Mappings[name]
+		if !ok {
+			return fail("array %q has no ALIGN directive", name)
+		}
+		sig := m.String()
+		if refDist == "" {
+			refDist = sig
+		} else if sig[len(name):] != refDist[len(ew.Arrays[0]):] {
+			return fail("array %q mapping %s differs from %q's; cross-distribution FORALLs need communication (unsupported)",
+				name, sig, ew.Arrays[0])
+		}
+		return nil
+	}
+
+	for _, st := range prog.Body {
+		fa, ok := st.(*hpf.Forall)
+		if !ok {
+			return fail("statement %T is not a FORALL", st)
+		}
+		if !spansWholeExtent(fa.Lo, fa.Hi, env, an.N) {
+			return fail("FORALL must run 1..n")
+		}
+		for _, inner := range fa.Body {
+			asg := inner.(*hpf.Assign) // parser guarantees assignments
+			if err := checkSection(asg.LHS, fa.Var, env, an.N); err != nil {
+				return fail("target %s: %v", asg.LHS.String(), err)
+			}
+			stmt := EwiseStmt{Out: asg.LHS.Array}
+			addArray(stmt.Out)
+			if err := checkMapped(stmt.Out); err != nil {
+				return err
+			}
+			expr, err := compileEwiseExpr(asg.RHS, fa.Var, env, an, &stmt, addArray, checkMapped)
+			if err != nil {
+				return err
+			}
+			stmt.Expr = expr
+			ew.Stmts = append(ew.Stmts, stmt)
+		}
+	}
+	an.Ewise = ew
+	an.Comm = "all FORALL statements are elementwise over identically mapped arrays: no communication required"
+	return nil
+}
+
+// checkSection verifies a reference has the canonical (1:n, var) shape.
+func checkSection(ref *hpf.SectionRef, loopVar string, env map[string]int, n int) error {
+	if len(ref.Subs) != 2 {
+		return fmt.Errorf("want 2 subscripts, got %d", len(ref.Subs))
+	}
+	if !ref.Subs[0].IsRange() || !spansWholeExtent(ref.Subs[0].Lo, ref.Subs[0].Hi, env, n) {
+		return fmt.Errorf("first subscript must be 1:n")
+	}
+	if ref.Subs[1].IsRange() || !isVar(ref.Subs[1].Index, loopVar) {
+		return fmt.Errorf("second subscript must be the FORALL index %q", loopVar)
+	}
+	return nil
+}
+
+// compileEwiseExpr lowers an HPF expression to a plan.EExpr, recording
+// input arrays on the statement.
+func compileEwiseExpr(e hpf.Expr, loopVar string, env map[string]int, an *Analysis,
+	stmt *EwiseStmt, addArray func(string), checkMapped func(string) error) (plan.EExpr, error) {
+	switch e := e.(type) {
+	case *hpf.Num:
+		return &plan.EConst{V: float64(e.Value)}, nil
+	case *hpf.Ident:
+		v, ok := env[e.Name]
+		if !ok {
+			return nil, fmt.Errorf("not an elementwise program: scalar %q is neither a parameter nor a constant", e.Name)
+		}
+		return &plan.EConst{V: float64(v)}, nil
+	case *hpf.SectionRef:
+		if err := checkSection(e, loopVar, env, an.N); err != nil {
+			return nil, fmt.Errorf("not an elementwise program: operand %s: %v", e.String(), err)
+		}
+		addArray(e.Array)
+		if err := checkMapped(e.Array); err != nil {
+			return nil, err
+		}
+		found := false
+		for _, in := range stmt.Ins {
+			if in == e.Array {
+				found = true
+			}
+		}
+		if !found {
+			stmt.Ins = append(stmt.Ins, e.Array)
+		}
+		return &plan.EBuf{Buf: "icla_" + e.Array}, nil
+	case *hpf.BinOp:
+		l, err := compileEwiseExpr(e.L, loopVar, env, an, stmt, addArray, checkMapped)
+		if err != nil {
+			return nil, err
+		}
+		r, err := compileEwiseExpr(e.R, loopVar, env, an, stmt, addArray, checkMapped)
+		if err != nil {
+			return nil, err
+		}
+		return &plan.EBin{Op: e.Op, L: l, R: r}, nil
+	default:
+		return nil, fmt.Errorf("not an elementwise program: unsupported expression %s", e.String())
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Out-of-core phase
+
+// ewiseCandidates builds the two strip-mining candidates: every array is
+// streamed exactly once; the candidates differ only in contiguity.
+func ewiseCandidates(an *Analysis, slabElems int, sieve bool) []cost.Candidate {
+	n, p := an.N, an.Procs
+	ocla := int64(n) * int64(n) / int64(p)
+	// The local column count determines how fragmented a row slab is;
+	// with per-axis divisibility it is the same on every processor.
+	shape := an.Mappings[an.Ewise.Arrays[0]].LocalShape(0)
+	localCols := int64(shape[1])
+	mk := func(label string, chunks int64, elemsPerFetch int64) cost.Candidate {
+		c := cost.Candidate{Label: label}
+		for _, name := range an.Ewise.Arrays {
+			c.Streams = append(c.Streams, cost.Stream{
+				Array:          name,
+				OCLAElems:      ocla,
+				SlabElems:      int64(slabElems),
+				Passes:         1,
+				ChunksPerFetch: chunks,
+				ElemsPerFetch:  elemsPerFetch,
+			})
+		}
+		return c
+	}
+	col := mk("column-slab", 1, 0)
+	rowChunks := localCols
+	var rowSpan int64
+	if sieve {
+		rowChunks = 1
+		rowSpan = ocla // a sieved row slab spans nearly the whole OCLA
+	}
+	row := mk("row-slab", rowChunks, rowSpan)
+	return []cost.Candidate{col, row}
+}
+
+// emitEwise runs the out-of-core phase for the elementwise pattern.
+func emitEwise(an *Analysis, opts Options, mach sim.Config) (*Result, error) {
+	arrays := an.Ewise.Arrays
+	perArray := opts.MemElems / len(arrays)
+	if perArray < 1 {
+		return nil, fmt.Errorf("compiler: MemElems=%d cannot cover %d arrays", opts.MemElems, len(arrays))
+	}
+	cands := ewiseCandidates(an, perArray, opts.Sieve)
+	chosen := cost.Select(cands, mach)
+	switch opts.Force {
+	case "":
+	case "column-slab":
+		chosen = 0
+	case "row-slab":
+		chosen = 1
+	default:
+		return nil, fmt.Errorf("compiler: unknown forced strategy %q", opts.Force)
+	}
+	dim := oocarray.ByColumn
+	if cands[chosen].Label == "row-slab" {
+		dim = oocarray.ByRow
+	}
+
+	prg := &plan.Program{
+		Name:     "ewise",
+		N:        an.N,
+		Procs:    an.Procs,
+		Strategy: cands[chosen].Label,
+	}
+	// Outputs not read by any statement are pure outputs.
+	reads := map[string]bool{}
+	writes := map[string]bool{}
+	for _, st := range an.Ewise.Stmts {
+		writes[st.Out] = true
+		for _, in := range st.Ins {
+			reads[in] = true
+		}
+	}
+	for _, name := range arrays {
+		m := an.Mappings[name]
+		role := plan.In
+		if writes[name] && !reads[name] {
+			role = plan.Out
+		}
+		prg.Arrays = append(prg.Arrays, plan.ArraySpec{
+			Name: name, Rows: an.N, Cols: an.N,
+			RowScheme: m.Dims[0].Scheme, ColScheme: m.Dims[1].Scheme,
+			Role: role, Grid: m.Grid, SlabElems: perArray, SlabDim: dim,
+		})
+	}
+
+	// One slab loop per statement: stream the inputs, compute, write the
+	// output slab (statement fusion is a possible future optimization;
+	// separate loops preserve HPF's statement-by-statement semantics).
+	for si, st := range an.Ewise.Stmts {
+		v := fmt.Sprintf("s%d", si)
+		body := []plan.Node{}
+		for _, in := range st.Ins {
+			body = append(body, &plan.ReadSlab{Array: in, Index: v, Buf: "icla_" + in, Stream: true})
+		}
+		out := "out_" + st.Out
+		body = append(body,
+			&plan.NewSlab{Array: st.Out, Index: v, Buf: out},
+			&plan.Ewise{Out: out, Expr: st.Expr},
+			&plan.WriteBuf{Array: st.Out, Buf: out},
+		)
+		prg.Body = append(prg.Body, &plan.Loop{
+			Var: v, Count: plan.CountExpr{SlabsOf: st.Out}, Body: body,
+		})
+	}
+
+	prg.Notes = append(prg.Notes, an.Comm)
+	prg.Notes = append(prg.Notes, fmt.Sprintf("memory: %d elements per array across %d arrays", perArray, len(arrays)))
+	for i, c := range cands {
+		mark := ""
+		if i == chosen {
+			mark = " [selected]"
+		}
+		prg.Notes = append(prg.Notes, fmt.Sprintf("candidate %s: est. I/O %.2fs, %d requests%s",
+			c.Label, c.Seconds(mach), c.TotalRequests(), mark))
+	}
+	return &Result{
+		Program:    prg,
+		Analysis:   an,
+		Candidates: cands,
+		Chosen:     chosen,
+		Report:     cost.Report(cands, chosen, mach),
+	}, nil
+}

@@ -1,0 +1,294 @@
+package compiler
+
+// The shifted-FORALL pattern class: FORALL statements whose column
+// subscripts are the loop index plus a constant, e.g.
+//
+//	FORALL (k = 2:n-1)
+//	  z(1:n,k) = (x(1:n,k-1) + x(1:n,k+1)) / 2
+//	end FORALL
+//
+// With the arrays distributed column-block, a shifted reference may fall
+// on the neighboring processor — the communication-detection case of the
+// in-core phase. The compiler emits a self-contained node per statement:
+// boundary-column exchange (shift communication) followed by a
+// halo-augmented column-slab sweep.
+
+import (
+	"fmt"
+
+	"github.com/ooc-hpf/passion/internal/cost"
+	"github.com/ooc-hpf/passion/internal/hpf"
+	"github.com/ooc-hpf/passion/internal/oocarray"
+	"github.com/ooc-hpf/passion/internal/plan"
+	"github.com/ooc-hpf/passion/internal/sim"
+)
+
+// ShiftStmt is one analyzed shifted-FORALL assignment.
+type ShiftStmt struct {
+	Out    string
+	Ins    []string
+	Lo, Hi int // 0-based inclusive global column bounds
+	Expr   plan.EExpr
+	// MinShift and MaxShift bound the column offsets of the inputs.
+	MinShift, MaxShift int
+}
+
+// ShiftAnalysis is the in-core phase result for the shifted pattern.
+type ShiftAnalysis struct {
+	Stmts  []ShiftStmt
+	Arrays []string
+}
+
+// matchShift recognizes a body of FORALLs with shifted column references.
+func matchShift(prog *hpf.Program, env map[string]int, an *Analysis) error {
+	fail := func(format string, args ...any) error {
+		return fmt.Errorf("not a shifted-FORALL program: "+format, args...)
+	}
+	if len(an.GridShape) != 1 {
+		return fail("shift communication requires a 1-D processor arrangement")
+	}
+	if len(prog.Body) == 0 {
+		return fail("empty body")
+	}
+	sh := &ShiftAnalysis{}
+	seen := map[string]bool{}
+	addArray := func(name string) error {
+		m, ok := an.Mappings[name]
+		if !ok {
+			return fail("array %q has no ALIGN directive", name)
+		}
+		if m.DistributedDim() != 1 {
+			return fail("array %q must be distributed column-block", name)
+		}
+		if !seen[name] {
+			seen[name] = true
+			sh.Arrays = append(sh.Arrays, name)
+		}
+		return nil
+	}
+
+	for _, st := range prog.Body {
+		fa, ok := st.(*hpf.Forall)
+		if !ok {
+			return fail("statement %T is not a FORALL", st)
+		}
+		lo, err1 := hpf.Eval(fa.Lo, env)
+		hi, err2 := hpf.Eval(fa.Hi, env)
+		if err1 != nil || err2 != nil || lo < 1 || hi > an.N || lo > hi {
+			return fail("FORALL bounds must be constants within 1..n")
+		}
+		for _, inner := range fa.Body {
+			asg := inner.(*hpf.Assign)
+			if err := checkShiftRef(asg.LHS, fa.Var, env, an.N, 0); err != nil {
+				return fail("target %s: %v", asg.LHS.String(), err)
+			}
+			stmt := ShiftStmt{Out: asg.LHS.Array, Lo: lo - 1, Hi: hi - 1}
+			if err := addArray(stmt.Out); err != nil {
+				return err
+			}
+			expr, err := compileShiftExpr(asg.RHS, fa.Var, env, an, &stmt, addArray)
+			if err != nil {
+				return err
+			}
+			stmt.Expr = expr
+			for _, in := range stmt.Ins {
+				if in == stmt.Out {
+					return fail("array %q appears on both sides of a shifted statement (copy-in semantics unsupported)", in)
+				}
+			}
+			// Every referenced column must exist for every written one.
+			if stmt.Lo+stmt.MinShift < 0 || stmt.Hi+stmt.MaxShift > an.N-1 {
+				return fail("shifted references of %q run outside 1..n for the FORALL bounds", stmt.Out)
+			}
+			// Ghosts may only reach the adjacent processor.
+			if w := an.N / an.Procs; -stmt.MinShift > w || stmt.MaxShift > w {
+				return fail("shift magnitude exceeds a processor's block width %d", w)
+			}
+			sh.Stmts = append(sh.Stmts, stmt)
+		}
+	}
+	// At least one statement must actually shift or restrict its bounds;
+	// otherwise the plain elementwise pattern applies.
+	interesting := false
+	for _, st := range sh.Stmts {
+		if st.MinShift != 0 || st.MaxShift != 0 || st.Lo != 0 || st.Hi != an.N-1 {
+			interesting = true
+		}
+	}
+	if !interesting {
+		return fail("no shifted references (the elementwise pattern applies)")
+	}
+	an.Shift = sh
+	an.Comm = "shifted column references cross the BLOCK boundaries: boundary-column exchange with the neighboring processors (shift communication), then a halo-augmented local sweep"
+	return nil
+}
+
+// checkShiftRef verifies ref is name(1:n, loopVar+shift) and returns nil;
+// wantShift is used for the LHS (must be exactly the loop variable).
+func checkShiftRef(ref *hpf.SectionRef, loopVar string, env map[string]int, n, wantShift int) error {
+	if len(ref.Subs) != 2 {
+		return fmt.Errorf("want 2 subscripts, got %d", len(ref.Subs))
+	}
+	if !ref.Subs[0].IsRange() || !spansWholeExtent(ref.Subs[0].Lo, ref.Subs[0].Hi, env, n) {
+		return fmt.Errorf("first subscript must be 1:n")
+	}
+	if ref.Subs[1].IsRange() {
+		return fmt.Errorf("second subscript must be scalar")
+	}
+	s, err := colShift(ref.Subs[1].Index, loopVar, env)
+	if err != nil {
+		return err
+	}
+	if s != wantShift {
+		return fmt.Errorf("column subscript must be exactly %q", loopVar)
+	}
+	return nil
+}
+
+// colShift extracts d from subscript expressions loopVar, loopVar+d,
+// loopVar-d.
+func colShift(e hpf.Expr, loopVar string, env map[string]int) (int, error) {
+	switch e := e.(type) {
+	case *hpf.Ident:
+		if e.Name == loopVar {
+			return 0, nil
+		}
+		return 0, fmt.Errorf("column subscript %q is not the FORALL index", e.Name)
+	case *hpf.BinOp:
+		id, ok := e.L.(*hpf.Ident)
+		if !ok || id.Name != loopVar || (e.Op != '+' && e.Op != '-') {
+			return 0, fmt.Errorf("column subscript must be %s±const", loopVar)
+		}
+		d, err := hpf.Eval(e.R, env)
+		if err != nil {
+			return 0, err
+		}
+		if e.Op == '-' {
+			d = -d
+		}
+		return d, nil
+	default:
+		return 0, fmt.Errorf("unsupported column subscript %s", e.String())
+	}
+}
+
+// compileShiftExpr lowers the RHS, recording inputs and shift bounds.
+func compileShiftExpr(e hpf.Expr, loopVar string, env map[string]int, an *Analysis,
+	stmt *ShiftStmt, addArray func(string) error) (plan.EExpr, error) {
+	switch e := e.(type) {
+	case *hpf.Num:
+		return &plan.EConst{V: float64(e.Value)}, nil
+	case *hpf.Ident:
+		v, ok := env[e.Name]
+		if !ok {
+			return nil, fmt.Errorf("not a shifted-FORALL program: scalar %q is not a parameter", e.Name)
+		}
+		return &plan.EConst{V: float64(v)}, nil
+	case *hpf.SectionRef:
+		if len(e.Subs) != 2 || !e.Subs[0].IsRange() || !spansWholeExtent(e.Subs[0].Lo, e.Subs[0].Hi, env, an.N) {
+			return nil, fmt.Errorf("not a shifted-FORALL program: operand %s must cover 1:n rows", e.String())
+		}
+		if e.Subs[1].IsRange() {
+			return nil, fmt.Errorf("not a shifted-FORALL program: operand %s column subscript must be scalar", e.String())
+		}
+		d, err := colShift(e.Subs[1].Index, loopVar, env)
+		if err != nil {
+			return nil, fmt.Errorf("not a shifted-FORALL program: %v", err)
+		}
+		if err := addArray(e.Array); err != nil {
+			return nil, err
+		}
+		found := false
+		for _, in := range stmt.Ins {
+			if in == e.Array {
+				found = true
+			}
+		}
+		if !found {
+			stmt.Ins = append(stmt.Ins, e.Array)
+		}
+		if d < stmt.MinShift {
+			stmt.MinShift = d
+		}
+		if d > stmt.MaxShift {
+			stmt.MaxShift = d
+		}
+		return &plan.EBufShift{Array: e.Array, Shift: d}, nil
+	case *hpf.BinOp:
+		l, err := compileShiftExpr(e.L, loopVar, env, an, stmt, addArray)
+		if err != nil {
+			return nil, err
+		}
+		r, err := compileShiftExpr(e.R, loopVar, env, an, stmt, addArray)
+		if err != nil {
+			return nil, err
+		}
+		return &plan.EBin{Op: e.Op, L: l, R: r}, nil
+	default:
+		return nil, fmt.Errorf("not a shifted-FORALL program: unsupported expression %s", e.String())
+	}
+}
+
+// emitShift runs the out-of-core phase for the shifted pattern. Shifted
+// sweeps require whole columns in memory, so only column slabs are
+// generated (a row-slab sweep would re-fetch the halo per row band).
+func emitShift(an *Analysis, opts Options, mach sim.Config) (*Result, error) {
+	arrays := an.Shift.Arrays
+	perArray := opts.MemElems / len(arrays)
+	if perArray < 1 {
+		return nil, fmt.Errorf("compiler: MemElems=%d cannot cover %d arrays", opts.MemElems, len(arrays))
+	}
+	// Cost: every array streams once in contiguous column slabs, plus
+	// the halo columns (at most GhostLeft+GhostRight extra per slab).
+	ocla := int64(an.N) * int64(an.N) / int64(an.Procs)
+	cand := cost.Candidate{Label: "column-slab"}
+	for _, name := range arrays {
+		cand.Streams = append(cand.Streams, cost.Stream{
+			Array: name, OCLAElems: ocla, SlabElems: int64(perArray),
+			Passes: 1, ChunksPerFetch: 1,
+		})
+	}
+
+	prg := &plan.Program{
+		Name:     "shift",
+		N:        an.N,
+		Procs:    an.Procs,
+		Strategy: "column-slab",
+	}
+	writes := map[string]bool{}
+	reads := map[string]bool{}
+	for _, st := range an.Shift.Stmts {
+		writes[st.Out] = true
+		for _, in := range st.Ins {
+			reads[in] = true
+		}
+	}
+	for _, name := range arrays {
+		m := an.Mappings[name]
+		role := plan.In
+		if writes[name] && !reads[name] {
+			role = plan.Out
+		}
+		prg.Arrays = append(prg.Arrays, plan.ArraySpec{
+			Name: name, Rows: an.N, Cols: an.N,
+			RowScheme: m.Dims[0].Scheme, ColScheme: m.Dims[1].Scheme,
+			Role: role, SlabElems: perArray, SlabDim: oocarray.ByColumn,
+		})
+	}
+	for _, st := range an.Shift.Stmts {
+		prg.Body = append(prg.Body, &plan.ShiftEwise{
+			Out: st.Out, Lo: st.Lo, Hi: st.Hi, Expr: st.Expr,
+			GhostLeft:  max(0, -st.MinShift),
+			GhostRight: max(0, st.MaxShift),
+		})
+	}
+	prg.Notes = append(prg.Notes, an.Comm)
+	prg.Notes = append(prg.Notes, fmt.Sprintf("memory: %d elements per array across %d arrays", perArray, len(arrays)))
+	return &Result{
+		Program:    prg,
+		Analysis:   an,
+		Candidates: []cost.Candidate{cand},
+		Chosen:     0,
+		Report:     cost.Report([]cost.Candidate{cand}, 0, mach),
+	}, nil
+}

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/ooc-hpf/passion/internal/compiler"
+	"github.com/ooc-hpf/passion/internal/exec"
+	"github.com/ooc-hpf/passion/internal/experiments"
+	"github.com/ooc-hpf/passion/internal/gaxpy"
+	"github.com/ooc-hpf/passion/internal/hpf"
+)
+
+func TestSessionCompileAndRun(t *testing.T) {
+	s := NewSession(4)
+	out, err := s.CompileAndRun(hpf.GaxpySource,
+		compiler.Options{N: 32, MemElems: 300},
+		exec.Options{Fill: map[string]func(int, int) float64{
+			"a": gaxpy.FillA, "b": gaxpy.FillB,
+		}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Compiled.Program.Strategy != "row-slab" {
+		t.Errorf("strategy %s", out.Compiled.Program.Strategy)
+	}
+	if out.Stats().ElapsedSeconds() <= 0 {
+		t.Error("no simulated time elapsed")
+	}
+	c, err := out.Array("c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := gaxpy.CExpected(32)
+	if c.At(3, 5) != want(3, 5) {
+		t.Errorf("result wrong: %g vs %g", c.At(3, 5), want(3, 5))
+	}
+}
+
+func TestDiskSession(t *testing.T) {
+	s, err := NewDiskSession(2, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := s.CompileAndRun(hpf.GaxpySource,
+		compiler.Options{N: 16, MemElems: 100},
+		exec.Options{Fill: map[string]func(int, int) float64{
+			"a": gaxpy.FillA, "b": gaxpy.FillB,
+		}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := out.Array("c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.At(0, 0) != gaxpy.CExpected(16)(0, 0) {
+		t.Error("disk-backed run produced wrong result")
+	}
+}
+
+func TestRunExperimentDispatch(t *testing.T) {
+	p := experiments.Params{N: 64, Procs: []int{4}, Ratios: []int{2}}
+	for _, name := range ExperimentNames {
+		text, _, err := RunExperiment(name, p)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if text == "" {
+			t.Errorf("%s: empty output", name)
+		}
+	}
+	if _, _, err := RunExperiment("bogus", p); err == nil {
+		t.Error("unknown experiment should fail")
+	}
+	// table1 provides CSV.
+	_, csv, err := RunExperiment("table1", p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(csv, "variant,slab_ratio") {
+		t.Errorf("table1 CSV wrong:\n%s", csv)
+	}
+}

@@ -1,0 +1,35 @@
+package core_test
+
+import (
+	"fmt"
+
+	"github.com/ooc-hpf/passion/internal/compiler"
+	"github.com/ooc-hpf/passion/internal/core"
+	"github.com/ooc-hpf/passion/internal/exec"
+	"github.com/ooc-hpf/passion/internal/gaxpy"
+	"github.com/ooc-hpf/passion/internal/hpf"
+)
+
+// ExampleSession_CompileAndRun compiles and executes the paper's Figure 3
+// GAXPY program on a simulated 4-processor machine, out of core.
+func ExampleSession_CompileAndRun() {
+	session := core.NewSession(4)
+	out, err := session.CompileAndRun(hpf.GaxpySource,
+		compiler.Options{N: 32, MemElems: 300},
+		exec.Options{Fill: map[string]func(int, int) float64{
+			"a": gaxpy.FillA,
+			"b": gaxpy.FillB,
+		}})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("strategy:", out.Compiled.Program.Strategy)
+	c, err := out.Array("c")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("C(0,0) correct:", c.At(0, 0) == gaxpy.CExpected(32)(0, 0))
+	// Output:
+	// strategy: row-slab
+	// C(0,0) correct: true
+}

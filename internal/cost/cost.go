@@ -1,0 +1,277 @@
+// Package cost implements the compiler's I/O cost estimation framework of
+// Section 4: for each candidate strip-mining strategy it predicts, per
+// processor, the number of slab fetches (T_fetch), the volume of data
+// moved (T_data) and the number of physical disk requests, and it selects
+// the strategy with the least estimated I/O cost (the algorithm of
+// Figure 14). It also implements the Section 4.2.1 policy for dividing
+// node memory among competing out-of-core arrays.
+package cost
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"github.com/ooc-hpf/passion/internal/sim"
+)
+
+// Stream models one out-of-core array's traffic in a strip-mined loop
+// nest: the OCLA is streamed through memory Passes times in slabs of
+// SlabElems elements, each slab fetch touching ChunksPerFetch
+// discontiguous file regions.
+type Stream struct {
+	// Array names the out-of-core array.
+	Array string
+	// OCLAElems is the out-of-core local array size in elements.
+	OCLAElems int64
+	// SlabElems is the ICLA (slab) size in elements.
+	SlabElems int64
+	// Passes is how many times the whole OCLA is streamed.
+	Passes int64
+	// ChunksPerFetch is the number of discontiguous regions per slab
+	// fetch (1 for a contiguous slab; the local column count for a row
+	// slab of a column-major array without sieving).
+	ChunksPerFetch int64
+	// ElemsPerFetch overrides the data volume of one fetch when it
+	// differs from SlabElems (e.g. data sieving reads the covering
+	// span). Zero means SlabElems.
+	ElemsPerFetch int64
+	// Write marks output traffic (stores instead of fetches).
+	Write bool
+}
+
+// SlabsPerPass returns how many slab fetches one full pass needs.
+func (s Stream) SlabsPerPass() int64 {
+	if s.OCLAElems == 0 {
+		return 0
+	}
+	if s.SlabElems <= 0 {
+		return s.OCLAElems // degenerate: one element at a time
+	}
+	return (s.OCLAElems + s.SlabElems - 1) / s.SlabElems
+}
+
+// Fetches returns T_fetch: the total number of slab transfers.
+func (s Stream) Fetches() int64 { return s.SlabsPerPass() * s.Passes }
+
+// Elems returns T_data: the total number of elements moved.
+func (s Stream) Elems() int64 {
+	if s.ElemsPerFetch > 0 {
+		return s.Fetches() * s.ElemsPerFetch
+	}
+	return s.OCLAElems * s.Passes
+}
+
+// Requests returns the number of physical disk requests.
+func (s Stream) Requests() int64 {
+	c := s.ChunksPerFetch
+	if c < 1 {
+		c = 1
+	}
+	return s.Fetches() * c
+}
+
+// Seconds estimates the simulated I/O time of the stream on the machine.
+func (s Stream) Seconds(cfg sim.Config) float64 {
+	return cfg.IOTime(int(s.Requests()), s.Elems()*int64(cfg.ElemSize))
+}
+
+// Candidate is one complete strip-mining strategy for a statement: a
+// label (e.g. "row-slab") and the streams of every out-of-core array
+// involved.
+type Candidate struct {
+	Label   string
+	Streams []Stream
+}
+
+// Seconds estimates the total per-processor I/O time of the candidate.
+func (c Candidate) Seconds(cfg sim.Config) float64 {
+	t := 0.0
+	for _, s := range c.Streams {
+		t += s.Seconds(cfg)
+	}
+	return t
+}
+
+// TotalFetches sums T_fetch over all streams.
+func (c Candidate) TotalFetches() int64 {
+	var n int64
+	for _, s := range c.Streams {
+		n += s.Fetches()
+	}
+	return n
+}
+
+// TotalElems sums T_data over all streams.
+func (c Candidate) TotalElems() int64 {
+	var n int64
+	for _, s := range c.Streams {
+		n += s.Elems()
+	}
+	return n
+}
+
+// TotalRequests sums physical requests over all streams.
+func (c Candidate) TotalRequests() int64 {
+	var n int64
+	for _, s := range c.Streams {
+		n += s.Requests()
+	}
+	return n
+}
+
+// Dominant returns the stream with the largest data volume — the array
+// that "requires the largest amount of I/O" in Figure 14's algorithm.
+func (c Candidate) Dominant() Stream {
+	if len(c.Streams) == 0 {
+		return Stream{}
+	}
+	best := c.Streams[0]
+	for _, s := range c.Streams[1:] {
+		if s.Elems() > best.Elems() {
+			best = s
+		}
+	}
+	return best
+}
+
+// String renders a compact cost table for the candidate.
+func (c Candidate) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s:", c.Label)
+	for _, s := range c.Streams {
+		op := "read"
+		if s.Write {
+			op = "write"
+		}
+		fmt.Fprintf(&b, " %s[%s fetches=%d elems=%d reqs=%d]",
+			s.Array, op, s.Fetches(), s.Elems(), s.Requests())
+	}
+	return b.String()
+}
+
+// Select implements the Figure 14 algorithm: evaluate every candidate's
+// I/O cost on the machine model and return the index of the cheapest one.
+// Ties break toward the earlier candidate. It panics on an empty slice.
+func Select(cands []Candidate, cfg sim.Config) int {
+	if len(cands) == 0 {
+		panic("cost: Select on no candidates")
+	}
+	best, bestT := 0, cands[0].Seconds(cfg)
+	for i, c := range cands[1:] {
+		if t := c.Seconds(cfg); t < bestT {
+			best, bestT = i+1, t
+		}
+	}
+	return best
+}
+
+// ---------------------------------------------------------------------------
+// Memory allocation among competing arrays (Section 4.2.1)
+
+// WeightedSplit divides total memory elements among arrays proportionally
+// to the given access-frequency weights, giving every array at least
+// minEach. It is the paper's heuristic: "assign a larger slab size to the
+// array with more frequent accesses".
+func WeightedSplit(total int, weights []float64, minEach int) []int {
+	n := len(weights)
+	if n == 0 {
+		return nil
+	}
+	out := make([]int, n)
+	remaining := total - n*minEach
+	if remaining < 0 {
+		// Not enough memory to honor the minimum; split evenly.
+		for i := range out {
+			out[i] = total / n
+		}
+		return out
+	}
+	var sum float64
+	for _, w := range weights {
+		if w > 0 {
+			sum += w
+		}
+	}
+	used := 0
+	for i, w := range weights {
+		share := 0
+		if sum > 0 && w > 0 {
+			share = int(float64(remaining) * w / sum)
+		}
+		out[i] = minEach + share
+		used += out[i]
+	}
+	// Hand leftover integer dust to the heaviest array.
+	if leftover := total - used; leftover > 0 {
+		heaviest := 0
+		for i, w := range weights {
+			if w > weights[heaviest] {
+				heaviest = i
+			}
+		}
+		out[heaviest] += leftover
+	}
+	return out
+}
+
+// Allocate2 searches splits (m1, m2) with m1 + m2 == total, both multiples
+// of step and at least step, minimizing f(m1, m2). It returns the best
+// split found. This is the exact counterpart of the Table 2 experiment:
+// the compiler trying slab-size assignments for two competing arrays.
+func Allocate2(total, step int, f func(m1, m2 int) float64) (int, int) {
+	if step <= 0 {
+		step = 1
+	}
+	if total < 2*step {
+		half := total / 2
+		return half, total - half
+	}
+	bestM1, bestM2 := step, total-step
+	bestT := f(bestM1, bestM2)
+	for m1 := 2 * step; m1 <= total-step; m1 += step {
+		m2 := total - m1
+		if t := f(m1, m2); t < bestT {
+			bestM1, bestM2, bestT = m1, m2, t
+		}
+	}
+	return bestM1, bestM2
+}
+
+// Frequencies returns, for each stream of the candidate, a weight equal to
+// its pass count — the compiler's proxy for "how often the array is
+// accessed" when applying WeightedSplit. Streams are reported in input
+// order.
+func Frequencies(c Candidate) []float64 {
+	out := make([]float64, len(c.Streams))
+	for i, s := range c.Streams {
+		out[i] = float64(s.Passes)
+	}
+	return out
+}
+
+// Report formats a comparison of candidates with the chosen index marked,
+// mirroring what cmd/ooc-compile prints.
+func Report(cands []Candidate, chosen int, cfg sim.Config) string {
+	var b strings.Builder
+	// Sort a copy by estimated seconds for a stable, readable listing.
+	type row struct {
+		idx int
+		sec float64
+	}
+	rows := make([]row, len(cands))
+	for i, c := range cands {
+		rows[i] = row{i, c.Seconds(cfg)}
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].sec < rows[j].sec })
+	for _, r := range rows {
+		marker := " "
+		if r.idx == chosen {
+			marker = "*"
+		}
+		c := cands[r.idx]
+		fmt.Fprintf(&b, "%s %-12s est. I/O %10.2fs  fetches %8d  elems %12d  requests %8d\n",
+			marker, c.Label, r.sec, c.TotalFetches(), c.TotalElems(), c.TotalRequests())
+	}
+	return b.String()
+}

@@ -1,0 +1,276 @@
+package cost
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/ooc-hpf/passion/internal/sim"
+)
+
+func TestStreamBasics(t *testing.T) {
+	s := Stream{Array: "a", OCLAElems: 100, SlabElems: 30, Passes: 2, ChunksPerFetch: 3}
+	if got := s.SlabsPerPass(); got != 4 { // ceil(100/30)
+		t.Errorf("SlabsPerPass = %d, want 4", got)
+	}
+	if got := s.Fetches(); got != 8 {
+		t.Errorf("Fetches = %d, want 8", got)
+	}
+	if got := s.Elems(); got != 200 {
+		t.Errorf("Elems = %d, want 200", got)
+	}
+	if got := s.Requests(); got != 24 {
+		t.Errorf("Requests = %d, want 24", got)
+	}
+}
+
+func TestStreamElemsPerFetchOverride(t *testing.T) {
+	s := Stream{Array: "a", OCLAElems: 100, SlabElems: 25, Passes: 1, ElemsPerFetch: 90}
+	if got := s.Elems(); got != 360 { // 4 fetches * 90
+		t.Errorf("Elems = %d, want 360", got)
+	}
+}
+
+func TestStreamDegenerate(t *testing.T) {
+	if (Stream{OCLAElems: 0, SlabElems: 10, Passes: 5}).Fetches() != 0 {
+		t.Error("empty OCLA should need no fetches")
+	}
+	s := Stream{OCLAElems: 7, SlabElems: 0, Passes: 1}
+	if s.SlabsPerPass() != 7 {
+		t.Errorf("zero slab size should degrade to element-at-a-time, got %d", s.SlabsPerPass())
+	}
+	if (Stream{OCLAElems: 4, SlabElems: 4, Passes: 1}).Requests() != 1 {
+		t.Error("default ChunksPerFetch should be 1")
+	}
+}
+
+// eq3to6 checks the exact closed forms of the paper for exact divisions.
+func TestEquations3Through6(t *testing.T) {
+	cases := []struct{ n, p, m int }{
+		{1024, 4, 1024 * 256 / 8}, // slab ratio 1/8 of OCLA
+		{1024, 16, 1024 * 64 / 4},
+		{512, 8, 512 * 64},
+		{2048, 16, 2048 * 128 / 2},
+	}
+	for _, c := range cases {
+		g := GaxpyParams{N: c.n, P: c.p, SlabA: c.m, SlabB: c.m, SlabC: c.m}
+		n3 := int64(c.n) * int64(c.n) * int64(c.n)
+		n2 := int64(c.n) * int64(c.n)
+
+		col := GaxpyColumnSlab(g)
+		a := col.Streams[0]
+		if got, want := a.Fetches(), n3/(int64(c.m)*int64(c.p)); got != want {
+			t.Errorf("N=%d P=%d M=%d: eq3 T_fetch(A) = %d, want %d", c.n, c.p, c.m, got, want)
+		}
+		if got, want := a.Elems(), n3/int64(c.p); got != want {
+			t.Errorf("N=%d P=%d M=%d: eq4 T_data(A) = %d, want %d", c.n, c.p, c.m, got, want)
+		}
+
+		row := GaxpyRowSlab(g)
+		a = row.Streams[0]
+		if got, want := a.Fetches(), n2/(int64(c.m)*int64(c.p)); got != want {
+			t.Errorf("N=%d P=%d M=%d: eq5 T_fetch(A) = %d, want %d", c.n, c.p, c.m, got, want)
+		}
+		if got, want := a.Elems(), n2/int64(c.p); got != want {
+			t.Errorf("N=%d P=%d M=%d: eq6 T_data(A) = %d, want %d", c.n, c.p, c.m, got, want)
+		}
+	}
+}
+
+func TestRowSlabOrderOfMagnitudeCheaper(t *testing.T) {
+	// The paper's headline: the ratio of the two strategies' A-traffic is
+	// exactly N in both fetches and elements.
+	g := GaxpyParams{N: 1024, P: 16, SlabA: 65536, SlabB: 65536, SlabC: 65536}
+	col, row := GaxpyColumnSlab(g), GaxpyRowSlab(g)
+	if r := col.Streams[0].Fetches() / row.Streams[0].Fetches(); r != int64(g.N) {
+		t.Errorf("fetch ratio = %d, want %d", r, g.N)
+	}
+	if r := col.Streams[0].Elems() / row.Streams[0].Elems(); r != int64(g.N) {
+		t.Errorf("data ratio = %d, want %d", r, g.N)
+	}
+}
+
+func TestSelectPicksRowSlab(t *testing.T) {
+	// Figure 14's algorithm must pick the row-slab translation for the
+	// paper's GAXPY program across the whole experimental grid.
+	for _, p := range []int{4, 16, 32, 64} {
+		for _, ratio := range []int{1, 2, 4, 8} {
+			ocla := 1024 * 1024 / p
+			m := ocla / ratio
+			g := GaxpyParams{N: 1024, P: p, SlabA: m, SlabB: m, SlabC: m}
+			cands := GaxpyCandidates(g)
+			if got := Select(cands, sim.Delta(p)); cands[got].Label != "row-slab" {
+				t.Errorf("P=%d ratio=1/%d: selected %s", p, ratio, cands[got].Label)
+			}
+		}
+	}
+}
+
+func TestSelectTieAndPanic(t *testing.T) {
+	cfg := sim.Delta(4)
+	same := Candidate{Label: "x", Streams: []Stream{{OCLAElems: 10, SlabElems: 10, Passes: 1}}}
+	if got := Select([]Candidate{same, same}, cfg); got != 0 {
+		t.Errorf("tie should pick the first candidate, got %d", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Select on empty slice should panic")
+		}
+	}()
+	Select(nil, cfg)
+}
+
+func TestDominantStream(t *testing.T) {
+	c := Candidate{Streams: []Stream{
+		{Array: "small", OCLAElems: 10, SlabElems: 10, Passes: 1},
+		{Array: "big", OCLAElems: 10, SlabElems: 10, Passes: 50},
+		{Array: "mid", OCLAElems: 100, SlabElems: 10, Passes: 1},
+	}}
+	if d := c.Dominant(); d.Array != "big" {
+		t.Errorf("Dominant = %s", d.Array)
+	}
+	if (Candidate{}).Dominant().Array != "" {
+		t.Error("empty candidate Dominant should be zero")
+	}
+}
+
+func TestCandidateTotals(t *testing.T) {
+	g := GaxpyParams{N: 64, P: 4, SlabA: 256, SlabB: 256, SlabC: 256}
+	row := GaxpyRowSlab(g)
+	var f, e, r int64
+	for _, s := range row.Streams {
+		f += s.Fetches()
+		e += s.Elems()
+		r += s.Requests()
+	}
+	if row.TotalFetches() != f || row.TotalElems() != e || row.TotalRequests() != r {
+		t.Error("candidate totals disagree with stream sums")
+	}
+}
+
+func TestMoreMemoryNeverHurtsProperty(t *testing.T) {
+	// Property: increasing any slab size never increases a strategy's
+	// estimated I/O time (Figure 10's monotonic trend).
+	cfg := sim.Delta(4)
+	f := func(mSmall, extra uint16) bool {
+		m1 := int(mSmall%4096) + 64
+		m2 := m1 + int(extra%4096) + 1
+		g1 := GaxpyParams{N: 256, P: 4, SlabA: m1, SlabB: m1, SlabC: m1}
+		g2 := GaxpyParams{N: 256, P: 4, SlabA: m2, SlabB: m2, SlabC: m2}
+		for _, pair := range [][2]Candidate{
+			{GaxpyColumnSlab(g1), GaxpyColumnSlab(g2)},
+			{GaxpyRowSlab(g1), GaxpyRowSlab(g2)},
+		} {
+			if pair[1].Seconds(cfg) > pair[0].Seconds(cfg)+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWeightedSplit(t *testing.T) {
+	got := WeightedSplit(1000, []float64{3, 1}, 100)
+	if got[0]+got[1] != 1000 {
+		t.Fatalf("split %v does not sum to total", got)
+	}
+	if got[0] <= got[1] {
+		t.Errorf("heavier array should get more: %v", got)
+	}
+	// Equal weights, even split.
+	got = WeightedSplit(1000, []float64{1, 1}, 0)
+	if got[0] != 500 || got[1] != 500 {
+		t.Errorf("even split = %v", got)
+	}
+	// Not enough memory for minimums: falls back to even.
+	got = WeightedSplit(10, []float64{9, 1}, 100)
+	if got[0] != 5 || got[1] != 5 {
+		t.Errorf("fallback split = %v", got)
+	}
+	if WeightedSplit(100, nil, 0) != nil {
+		t.Error("empty weights should return nil")
+	}
+}
+
+func TestAllocate2FindsMinimum(t *testing.T) {
+	// A convex cost with minimum at m1 = 600 of 800.
+	f := func(m1, m2 int) float64 {
+		d := float64(m1 - 600)
+		return d * d
+	}
+	m1, m2 := Allocate2(800, 100, f)
+	if m1 != 600 || m2 != 200 {
+		t.Errorf("Allocate2 = (%d,%d), want (600,200)", m1, m2)
+	}
+	// Degenerate totals.
+	m1, m2 = Allocate2(1, 100, f)
+	if m1+m2 != 1 {
+		t.Errorf("tiny total split = (%d,%d)", m1, m2)
+	}
+	m1, m2 = Allocate2(10, 0, func(a, b int) float64 { return 0 })
+	if m1+m2 != 10 {
+		t.Errorf("zero step split = (%d,%d)", m1, m2)
+	}
+}
+
+func TestAllocate2PrefersAForGaxpy(t *testing.T) {
+	// The Table 2 conclusion: for the row-slab GAXPY, the best split
+	// gives A at least as much memory as B.
+	cfg := sim.Delta(16)
+	n, p := 2048, 16
+	total := 2 * 256 * (n / p) // two "256-column" slabs worth of elements
+	step := n / p
+	m1, m2 := Allocate2(total, step, func(ma, mb int) float64 {
+		g := GaxpyParams{N: n, P: p, SlabA: ma, SlabB: mb, SlabC: ma}
+		return GaxpyRowSlab(g).Seconds(cfg)
+	})
+	if m1 < m2 {
+		t.Errorf("allocator gave A=%d < B=%d", m1, m2)
+	}
+}
+
+func TestFrequencies(t *testing.T) {
+	g := GaxpyParams{N: 64, P: 4, SlabA: 128, SlabB: 128, SlabC: 128}
+	w := Frequencies(GaxpyColumnSlab(g))
+	if len(w) != 3 || w[0] != 64 || w[1] != 1 || w[2] != 1 {
+		t.Errorf("Frequencies = %v", w)
+	}
+}
+
+func TestReportAndString(t *testing.T) {
+	g := GaxpyParams{N: 64, P: 4, SlabA: 128, SlabB: 128, SlabC: 128}
+	cands := GaxpyCandidates(g)
+	cfg := sim.Delta(4)
+	chosen := Select(cands, cfg)
+	out := Report(cands, chosen, cfg)
+	if !strings.Contains(out, "* row-slab") {
+		t.Errorf("report does not mark row-slab as chosen:\n%s", out)
+	}
+	if !strings.Contains(out, "column-slab") {
+		t.Errorf("report missing column-slab:\n%s", out)
+	}
+	s := cands[0].String()
+	for _, want := range []string{"column-slab:", "a[read", "c[write"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+}
+
+func TestSievedRowSlabTradeoff(t *testing.T) {
+	// Sieving a row slab collapses requests to one per fetch but inflates
+	// the data volume toward the whole OCLA per fetch.
+	g := GaxpyParams{N: 256, P: 4, SlabA: 4096, SlabB: 4096, SlabC: 4096}
+	plain := GaxpyRowSlab(g)
+	g.Sieve = true
+	sieved := GaxpyRowSlab(g)
+	if sieved.Streams[0].Requests() >= plain.Streams[0].Requests() {
+		t.Error("sieving should reduce requests")
+	}
+	if sieved.Streams[0].Elems() <= plain.Streams[0].Elems() {
+		t.Error("sieving should increase data volume for row slabs")
+	}
+}

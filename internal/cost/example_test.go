@@ -1,0 +1,41 @@
+package cost_test
+
+import (
+	"fmt"
+
+	"github.com/ooc-hpf/passion/internal/cost"
+	"github.com/ooc-hpf/passion/internal/sim"
+)
+
+// ExampleGaxpyCandidates evaluates the paper's Equations 3-6 for a
+// 1K x 1K GAXPY on 16 processors with a slab of 64K elements, and lets
+// the Figure 14 algorithm choose.
+func ExampleGaxpyCandidates() {
+	g := cost.GaxpyParams{N: 1024, P: 16, SlabA: 65536, SlabB: 65536, SlabC: 65536}
+	cands := cost.GaxpyCandidates(g)
+	for _, c := range cands {
+		a := c.Streams[0]
+		fmt.Printf("%s: T_fetch(A)=%d, T_data(A)=%d elements\n", c.Label, a.Fetches(), a.Elems())
+	}
+	chosen := cost.Select(cands, sim.Delta(16))
+	fmt.Println("selected:", cands[chosen].Label)
+	// Output:
+	// column-slab: T_fetch(A)=1024, T_data(A)=67108864 elements
+	// row-slab: T_fetch(A)=1, T_data(A)=65536 elements
+	// selected: row-slab
+}
+
+// ExampleAllocate2 reproduces the Table 2 decision: split memory between
+// the slabs of A and B to minimize estimated I/O time.
+func ExampleAllocate2() {
+	mach := sim.Delta(16)
+	n, p := 2048, 16
+	total := 512 * (n / p) // "512 rows/columns" of slab memory
+	a, b := cost.Allocate2(total, n/p, func(ma, mb int) float64 {
+		g := cost.GaxpyParams{N: n, P: p, SlabA: ma, SlabB: mb, SlabC: n}
+		return cost.GaxpyRowSlab(g).Seconds(mach)
+	})
+	fmt.Printf("best split: A gets %d rows, B gets %d columns\n", a/(n/p), b/(n/p))
+	// Output:
+	// best split: A gets 410 rows, B gets 102 columns
+}

@@ -1,0 +1,313 @@
+package dist
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBlockBasics(t *testing.T) {
+	m := NewBlock(64, 4) // blocks of 16
+	if bs := m.BlockSize(); bs != 16 {
+		t.Fatalf("BlockSize = %d, want 16", bs)
+	}
+	cases := []struct{ g, proc, local int }{
+		{0, 0, 0}, {15, 0, 15}, {16, 1, 0}, {31, 1, 15}, {63, 3, 15},
+	}
+	for _, c := range cases {
+		if got := m.Owner(c.g); got != c.proc {
+			t.Errorf("Owner(%d) = %d, want %d", c.g, got, c.proc)
+		}
+		p, l := m.ToLocal(c.g)
+		if p != c.proc || l != c.local {
+			t.Errorf("ToLocal(%d) = (%d,%d), want (%d,%d)", c.g, p, l, c.proc, c.local)
+		}
+		if g := m.ToGlobal(c.proc, c.local); g != c.g {
+			t.Errorf("ToGlobal(%d,%d) = %d, want %d", c.proc, c.local, g, c.g)
+		}
+	}
+}
+
+func TestBlockRagged(t *testing.T) {
+	// 10 indices over 4 procs: blocks of 3 -> counts 3,3,3,1.
+	m := NewBlock(10, 4)
+	wantCounts := []int{3, 3, 3, 1}
+	for p, w := range wantCounts {
+		if got := m.LocalCount(p); got != w {
+			t.Errorf("LocalCount(%d) = %d, want %d", p, got, w)
+		}
+	}
+	if o := m.Owner(9); o != 3 {
+		t.Errorf("Owner(9) = %d, want 3", o)
+	}
+	lo, hi := m.LocalRange(3)
+	if lo != 9 || hi != 10 {
+		t.Errorf("LocalRange(3) = [%d,%d), want [9,10)", lo, hi)
+	}
+	// A processor beyond the data gets an empty range.
+	m2 := NewBlock(4, 8)
+	if c := m2.LocalCount(7); c != 0 {
+		t.Errorf("LocalCount(7) on tiny extent = %d, want 0", c)
+	}
+	lo, hi = m2.LocalRange(7)
+	if lo != hi {
+		t.Errorf("empty LocalRange should have lo==hi, got [%d,%d)", lo, hi)
+	}
+}
+
+func TestCyclicBasics(t *testing.T) {
+	m := NewCyclic(10, 3)
+	// indices: p0 gets 0,3,6,9; p1 gets 1,4,7; p2 gets 2,5,8
+	wantOwner := []int{0, 1, 2, 0, 1, 2, 0, 1, 2, 0}
+	for g, w := range wantOwner {
+		if got := m.Owner(g); got != w {
+			t.Errorf("Owner(%d) = %d, want %d", g, got, w)
+		}
+	}
+	if c := m.LocalCount(0); c != 4 {
+		t.Errorf("LocalCount(0) = %d, want 4", c)
+	}
+	if c := m.LocalCount(2); c != 3 {
+		t.Errorf("LocalCount(2) = %d, want 3", c)
+	}
+	if g := m.ToGlobal(0, 3); g != 9 {
+		t.Errorf("ToGlobal(0,3) = %d, want 9", g)
+	}
+}
+
+func TestBlockCyclicBasics(t *testing.T) {
+	m := NewBlockCyclic(16, 2, 3)
+	// blocks of 3 dealt to 2 procs:
+	// p0: 0,1,2, 6,7,8, 12,13,14   p1: 3,4,5, 9,10,11, 15
+	if got := m.GlobalIndices(0); len(got) != 9 {
+		t.Fatalf("p0 count = %d, want 9", len(got))
+	}
+	want0 := []int{0, 1, 2, 6, 7, 8, 12, 13, 14}
+	for i, g := range m.GlobalIndices(0) {
+		if g != want0[i] {
+			t.Errorf("p0 local %d -> global %d, want %d", i, g, want0[i])
+		}
+	}
+	want1 := []int{3, 4, 5, 9, 10, 11, 15}
+	got1 := m.GlobalIndices(1)
+	if len(got1) != len(want1) {
+		t.Fatalf("p1 count = %d, want %d", len(got1), len(want1))
+	}
+	for i, g := range got1 {
+		if g != want1[i] {
+			t.Errorf("p1 local %d -> global %d, want %d", i, g, want1[i])
+		}
+	}
+}
+
+func TestCollapsed(t *testing.T) {
+	m := NewCollapsed(8)
+	if o := m.Owner(5); o != -1 {
+		t.Errorf("collapsed Owner = %d, want -1", o)
+	}
+	p, l := m.ToLocal(5)
+	if p != -1 || l != 5 {
+		t.Errorf("collapsed ToLocal = (%d,%d), want (-1,5)", p, l)
+	}
+	if c := m.LocalCount(3); c != 8 {
+		t.Errorf("collapsed LocalCount = %d, want 8", c)
+	}
+	lo, hi := m.LocalRange(0)
+	if lo != 0 || hi != 8 {
+		t.Errorf("collapsed LocalRange = [%d,%d), want [0,8)", lo, hi)
+	}
+}
+
+func TestLocalRangePanicsOnCyclic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("LocalRange on cyclic map should panic")
+		}
+	}()
+	NewCyclic(8, 2).LocalRange(0)
+}
+
+// mapCases returns a variety of maps for exhaustive partition checks.
+func mapCases() []Map {
+	return []Map{
+		NewBlock(64, 4), NewBlock(10, 4), NewBlock(1, 4), NewBlock(0, 3),
+		NewBlock(7, 7), NewBlock(100, 3),
+		NewCyclic(64, 4), NewCyclic(10, 3), NewCyclic(5, 8),
+		NewBlockCyclic(64, 4, 5), NewBlockCyclic(17, 3, 2), NewBlockCyclic(9, 2, 4),
+	}
+}
+
+func TestPartitionExhaustive(t *testing.T) {
+	// Every global index is owned by exactly one processor, round-trips
+	// through ToLocal/ToGlobal, and LocalCount matches the owned sets.
+	for _, m := range mapCases() {
+		counts := make([]int, m.Procs)
+		for g := 0; g < m.Extent; g++ {
+			p := m.Owner(g)
+			if p < 0 || p >= m.Procs {
+				t.Fatalf("%+v: Owner(%d) = %d out of range", m, g, p)
+			}
+			counts[p]++
+			pp, l := m.ToLocal(g)
+			if pp != p {
+				t.Fatalf("%+v: ToLocal(%d) proc %d != Owner %d", m, g, pp, p)
+			}
+			if back := m.ToGlobal(p, l); back != g {
+				t.Fatalf("%+v: roundtrip %d -> (%d,%d) -> %d", m, g, p, l, back)
+			}
+			if l < 0 || l >= m.LocalCount(p) {
+				t.Fatalf("%+v: local index %d outside [0,%d)", m, l, m.LocalCount(p))
+			}
+		}
+		total := 0
+		for p := 0; p < m.Procs; p++ {
+			if counts[p] != m.LocalCount(p) {
+				t.Fatalf("%+v: proc %d owns %d indices but LocalCount says %d", m, p, counts[p], m.LocalCount(p))
+			}
+			total += counts[p]
+		}
+		if total != m.Extent {
+			t.Fatalf("%+v: partition covers %d of %d indices", m, total, m.Extent)
+		}
+	}
+}
+
+func TestGlobalIndicesSortedAndConsistent(t *testing.T) {
+	for _, m := range mapCases() {
+		for p := 0; p < m.Procs; p++ {
+			idx := m.GlobalIndices(p)
+			for i, g := range idx {
+				if i > 0 && idx[i-1] >= g {
+					t.Fatalf("%+v proc %d: indices not increasing: %v", m, p, idx)
+				}
+				if m.Owner(g) != p {
+					t.Fatalf("%+v proc %d: index %d not owned", m, p, g)
+				}
+			}
+		}
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(n, p, k, g uint16) bool {
+		extent := int(n%2048) + 1
+		procs := int(p%16) + 1
+		block := int(k%8) + 1
+		gi := int(g) % extent
+		for _, m := range []Map{
+			NewBlock(extent, procs),
+			NewCyclic(extent, procs),
+			NewBlockCyclic(extent, procs, block),
+		} {
+			proc, l := m.ToLocal(gi)
+			if m.ToGlobal(proc, l) != gi {
+				return false
+			}
+			if m.Owner(gi) != proc {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestArrayMappings(t *testing.T) {
+	// Column-block like array A in the paper: a(n, n) align (*, :) ->
+	// rows collapsed, columns BLOCK.
+	n, p := 64, 4
+	a, err := NewArray("a", NewCollapsed(n), NewBlock(n, p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Procs() != p {
+		t.Errorf("Procs = %d, want %d", a.Procs(), p)
+	}
+	if d := a.DistributedDim(); d != 1 {
+		t.Errorf("DistributedDim = %d, want 1", d)
+	}
+	if s := a.LocalShape(2); s[0] != n || s[1] != n/p {
+		t.Errorf("LocalShape = %v, want [%d %d]", s, n, n/p)
+	}
+	if a.LocalElems(0) != n*n/p {
+		t.Errorf("LocalElems = %d", a.LocalElems(0))
+	}
+	if o := a.Owner(10, 33); o != 2 {
+		t.Errorf("Owner(10,33) = %d, want 2", o)
+	}
+	proc, local := a.ToLocal(10, 33)
+	if proc != 2 || local[0] != 10 || local[1] != 1 {
+		t.Errorf("ToLocal(10,33) = %d %v, want 2 [10 1]", proc, local)
+	}
+	if s := a.String(); s != "a(*,BLOCK)" {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestArrayRowBlock(t *testing.T) {
+	// Row-block like array B: b(n, n) align (:, *) -> rows BLOCK,
+	// columns collapsed.
+	n, p := 64, 4
+	b, err := NewArray("b", NewBlock(n, p), NewCollapsed(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := b.LocalShape(0); s[0] != n/p || s[1] != n {
+		t.Errorf("LocalShape = %v, want [%d %d]", s, n/p, n)
+	}
+	if o := b.Owner(17, 3); o != 1 {
+		t.Errorf("Owner(17,3) = %d, want 1", o)
+	}
+}
+
+func TestArrayReplicated(t *testing.T) {
+	r, err := NewArray("t", NewCollapsed(8), NewCollapsed(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Procs() != 1 || r.DistributedDim() != -1 {
+		t.Errorf("replicated array misclassified: procs=%d dim=%d", r.Procs(), r.DistributedDim())
+	}
+	if o := r.Owner(1, 2); o != 0 {
+		t.Errorf("replicated Owner = %d, want 0", o)
+	}
+}
+
+func TestArrayValidation(t *testing.T) {
+	if _, err := NewArray("x"); err == nil {
+		t.Error("array with no dims should fail")
+	}
+	if _, err := NewArray("x", NewBlock(8, 2), NewBlock(8, 2)); err == nil {
+		t.Error("two distributed dims over 1-D grid should fail")
+	}
+	if _, err := NewArray("x", Map{Extent: -1, Scheme: Block, Procs: 2}); err == nil {
+		t.Error("negative extent should fail")
+	}
+	if _, err := NewArray("x", Map{Extent: 4, Scheme: BlockCyclic, Procs: 2}); err == nil {
+		t.Error("CYCLIC(k) without block size should fail")
+	}
+	if _, err := NewArray("x", Map{Extent: 4, Scheme: Block}); err == nil {
+		t.Error("distributed dim without procs should fail")
+	}
+}
+
+func TestOwnerPanicsOnArityMismatch(t *testing.T) {
+	a, _ := NewArray("a", NewCollapsed(4), NewBlock(4, 2))
+	defer func() {
+		if recover() == nil {
+			t.Error("Owner with wrong arity should panic")
+		}
+	}()
+	a.Owner(1)
+}
+
+func TestSchemeString(t *testing.T) {
+	if Collapsed.String() != "*" || Block.String() != "BLOCK" ||
+		Cyclic.String() != "CYCLIC" || BlockCyclic.String() != "CYCLIC(k)" {
+		t.Error("Scheme.String spelling wrong")
+	}
+	if Scheme(99).String() == "" {
+		t.Error("unknown scheme should still render")
+	}
+}

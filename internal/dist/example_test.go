@@ -1,0 +1,55 @@
+package dist_test
+
+import (
+	"fmt"
+
+	"github.com/ooc-hpf/passion/internal/dist"
+)
+
+// ExampleMap shows the BLOCK distribution the paper's GAXPY arrays use.
+func ExampleMap() {
+	m := dist.NewBlock(64, 4) // 64 columns over 4 processors
+	fmt.Println("block size:", m.BlockSize())
+	fmt.Println("owner of column 33:", m.Owner(33))
+	proc, local := m.ToLocal(33)
+	fmt.Printf("column 33 is local column %d of processor %d\n", local, proc)
+	fmt.Println("round trip:", m.ToGlobal(proc, local))
+	// Output:
+	// block size: 16
+	// owner of column 33: 2
+	// column 33 is local column 1 of processor 2
+	// round trip: 33
+}
+
+// ExampleNewArray builds the mapping of array A in the paper's Figure 3:
+// a(n,n) aligned (*,:) with a BLOCK-distributed template.
+func ExampleNewArray() {
+	a, err := dist.NewArray("a", dist.NewCollapsed(64), dist.NewBlock(64, 4))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(a)
+	fmt.Println("local shape on processor 1:", a.LocalShape(1))
+	fmt.Println("owner of element (10, 40):", a.Owner(10, 40))
+	// Output:
+	// a(*,BLOCK)
+	// local shape on processor 1: [64 16]
+	// owner of element (10, 40): 2
+}
+
+// ExampleNewGridArray distributes both dimensions over a 2x2 processor
+// grid (HPF "PROCESSORS P(2,2)").
+func ExampleNewGridArray() {
+	a, err := dist.NewGridArray("bb", dist.NewGrid(2, 2),
+		dist.NewBlock(8, 2), dist.NewBlock(8, 2))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("processors:", a.Procs())
+	fmt.Println("local shape:", a.LocalShape(3))
+	fmt.Println("owner of (5, 6):", a.Owner(5, 6))
+	// Output:
+	// processors: 4
+	// local shape: [4 4]
+	// owner of (5, 6): 3
+}

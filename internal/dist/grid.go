@@ -1,0 +1,113 @@
+package dist
+
+import "fmt"
+
+// Grid is a Cartesian processor arrangement (HPF "PROCESSORS P(r,c)").
+// Ranks are linearized row-major: coordinate (c0, c1, ...) maps to
+// ((c0*Shape[1])+c1)*Shape[2]+... .
+type Grid struct {
+	Shape []int
+}
+
+// NewGrid returns a grid with the given per-axis extents.
+func NewGrid(shape ...int) Grid { return Grid{Shape: shape} }
+
+// Validate reports whether every axis is positive.
+func (g Grid) Validate() error {
+	if len(g.Shape) == 0 {
+		return fmt.Errorf("dist: empty processor grid")
+	}
+	for i, s := range g.Shape {
+		if s <= 0 {
+			return fmt.Errorf("dist: grid axis %d has nonpositive extent %d", i, s)
+		}
+	}
+	return nil
+}
+
+// Size returns the total number of processors.
+func (g Grid) Size() int {
+	n := 1
+	for _, s := range g.Shape {
+		n *= s
+	}
+	return n
+}
+
+// Rank linearizes grid coordinates to a processor rank.
+func (g Grid) Rank(coords ...int) int {
+	if len(coords) != len(g.Shape) {
+		panic(fmt.Sprintf("dist: Rank wants %d coordinates, got %d", len(g.Shape), len(coords)))
+	}
+	r := 0
+	for i, c := range coords {
+		if c < 0 || c >= g.Shape[i] {
+			panic(fmt.Sprintf("dist: coordinate %d out of range on axis %d (extent %d)", c, i, g.Shape[i]))
+		}
+		r = r*g.Shape[i] + c
+	}
+	return r
+}
+
+// Coords inverts Rank.
+func (g Grid) Coords(rank int) []int {
+	if rank < 0 || rank >= g.Size() {
+		panic(fmt.Sprintf("dist: rank %d outside grid of %d", rank, g.Size()))
+	}
+	out := make([]int, len(g.Shape))
+	for i := len(g.Shape) - 1; i >= 0; i-- {
+		out[i] = rank % g.Shape[i]
+		rank /= g.Shape[i]
+	}
+	return out
+}
+
+// NewGridArray builds an array mapping over a multi-dimensional processor
+// grid: the distributed dimensions of dims, in order, take the grid's
+// axes in order. Collapsed dimensions are unconstrained.
+func NewGridArray(name string, grid Grid, dims ...Map) (*Array, error) {
+	a := &Array{Name: name, Dims: dims, Grid: grid.Shape}
+	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// axisOf returns, for each array dimension, the grid axis it is
+// distributed over (-1 for collapsed dimensions).
+func (a *Array) axisOf() []int {
+	out := make([]int, len(a.Dims))
+	axis := 0
+	for i, d := range a.Dims {
+		if d.Scheme == Collapsed {
+			out[i] = -1
+			continue
+		}
+		out[i] = axis
+		axis++
+	}
+	return out
+}
+
+// grid returns the effective processor grid: the explicit one, or the
+// implicit 1-D grid of a single distributed dimension.
+func (a *Array) grid() Grid {
+	if a.Grid != nil {
+		return Grid{Shape: a.Grid}
+	}
+	return Grid{Shape: []int{a.Procs()}}
+}
+
+// ProcCoord returns processor rank's coordinate along array dimension
+// dim: its grid coordinate for a distributed dimension, 0 for a collapsed
+// one.
+func (a *Array) ProcCoord(rank, dim int) int {
+	axes := a.axisOf()
+	if axes[dim] < 0 {
+		return 0
+	}
+	if a.Grid == nil {
+		return rank
+	}
+	return a.grid().Coords(rank)[axes[dim]]
+}

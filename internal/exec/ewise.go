@@ -1,0 +1,93 @@
+package exec
+
+import (
+	"fmt"
+
+	"github.com/ooc-hpf/passion/internal/plan"
+)
+
+// runNewSlab allocates the output staging buffer for one slab index.
+func (in *interp) runNewSlab(n *plan.NewSlab) error {
+	arr, err := in.array(n.Array)
+	if err != nil {
+		return err
+	}
+	idx, ok := in.vars[n.Index]
+	if !ok {
+		return fmt.Errorf("exec: NewSlab index %q is not a live loop variable", n.Index)
+	}
+	icla, err := arr.NewSlab(in.slabbings[n.Array], idx)
+	if err != nil {
+		return err
+	}
+	in.bufs[n.Buf] = icla
+	return nil
+}
+
+// runEwise evaluates an elementwise expression into the output buffer and
+// charges the arithmetic to the processor clock.
+func (in *interp) runEwise(n *plan.Ewise) error {
+	out, ok := in.bufs[n.Out]
+	if !ok {
+		return fmt.Errorf("exec: Ewise into unknown buffer %q", n.Out)
+	}
+	if !in.phantom {
+		if err := in.evalEwise(n.Expr, out.Data); err != nil {
+			return err
+		}
+	}
+	in.proc.Compute(int64(n.Expr.Ops()) * int64(len(out.Data)))
+	return nil
+}
+
+// evalEwise evaluates e elementwise into dst.
+func (in *interp) evalEwise(e plan.EExpr, dst []float64) error {
+	switch e := e.(type) {
+	case *plan.EConst:
+		for i := range dst {
+			dst[i] = e.V
+		}
+		return nil
+	case *plan.EBuf:
+		b, ok := in.bufs[e.Buf]
+		if !ok {
+			return fmt.Errorf("exec: Ewise reads unread buffer %q", e.Buf)
+		}
+		if len(b.Data) != len(dst) {
+			return fmt.Errorf("exec: Ewise buffer %q has %d elements, output has %d", e.Buf, len(b.Data), len(dst))
+		}
+		copy(dst, b.Data)
+		return nil
+	case *plan.EBin:
+		if err := in.evalEwise(e.L, dst); err != nil {
+			return err
+		}
+		tmp := make([]float64, len(dst))
+		if err := in.evalEwise(e.R, tmp); err != nil {
+			return err
+		}
+		switch e.Op {
+		case '+':
+			for i := range dst {
+				dst[i] += tmp[i]
+			}
+		case '-':
+			for i := range dst {
+				dst[i] -= tmp[i]
+			}
+		case '*':
+			for i := range dst {
+				dst[i] *= tmp[i]
+			}
+		case '/':
+			for i := range dst {
+				dst[i] /= tmp[i]
+			}
+		default:
+			return fmt.Errorf("exec: unknown elementwise operator %q", e.Op)
+		}
+		return nil
+	default:
+		return fmt.Errorf("exec: unknown elementwise expression %T", e)
+	}
+}

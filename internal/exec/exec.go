@@ -1,0 +1,561 @@
+// Package exec interprets compiled node programs (plan.Program) on the
+// simulated distributed memory machine: P processor goroutines run the
+// program's Body in SPMD style against their out-of-core local arrays,
+// performing real file I/O, real message passing and real arithmetic
+// while the simulated clocks accumulate the machine-model costs.
+package exec
+
+import (
+	"fmt"
+
+	"github.com/ooc-hpf/passion/internal/iosim"
+	"github.com/ooc-hpf/passion/internal/matrix"
+	"github.com/ooc-hpf/passion/internal/mp"
+	"github.com/ooc-hpf/passion/internal/oocarray"
+	"github.com/ooc-hpf/passion/internal/plan"
+	"github.com/ooc-hpf/passion/internal/sim"
+	"github.com/ooc-hpf/passion/internal/trace"
+)
+
+// Options configures an execution.
+type Options struct {
+	// Fill provides initial values for input arrays by name; inputs
+	// without an entry start zeroed.
+	Fill map[string]func(gi, gj int) float64
+	// Runtime passes data sieving / prefetching switches to the
+	// out-of-core array runtime.
+	Runtime oocarray.Options
+	// Phantom executes in accounting-only mode (no file data movement,
+	// no arithmetic; identical statistics).
+	Phantom bool
+	// FS is the backing store; nil means a fresh in-memory file system.
+	FS iosim.FS
+	// Spans, when non-nil, collects a timeline of compute, communication
+	// and I/O intervals across all processors (see trace.SpanLog.Gantt).
+	Spans *trace.SpanLog
+}
+
+// Result is a completed execution.
+type Result struct {
+	Stats   *trace.Stats
+	Program *plan.Program
+	// PerArray holds per-processor, per-array I/O statistics: indexed by
+	// rank, then by array name. It lets the Equations 3-6 counts be
+	// checked on compiled programs, not just the hand-coded baselines.
+	PerArray []map[string]*trace.IOStats
+
+	fs      iosim.FS
+	mach    sim.Config
+	phantom bool
+}
+
+// MaxArrayIO returns, for the named array, the elementwise maximum of the
+// per-processor I/O statistics — the paper's per-processor metrics on a
+// balanced program.
+func (r *Result) MaxArrayIO(name string) trace.IOStats {
+	s := trace.NewStats(len(r.PerArray))
+	for i, m := range r.PerArray {
+		if st := m[name]; st != nil {
+			s.Procs[i].IO = *st
+		}
+	}
+	return s.MaxIO()
+}
+
+// reduceTag is the tag used by SumStore reductions.
+const reduceTag = 11
+
+// Run executes the program on a machine with the program's processor
+// count.
+func Run(p *plan.Program, mach sim.Config, opts Options) (*Result, error) {
+	mach.Procs = p.Procs
+	fs := opts.FS
+	if fs == nil {
+		fs = iosim.NewMemFS()
+	}
+	perArray := make([]map[string]*trace.IOStats, mach.Procs)
+	stats, err := mp.Run(mach, func(proc *mp.Proc) error {
+		proc.SetSpanLog(opts.Spans)
+		in, err := newInterp(p, proc, fs, opts)
+		if err != nil {
+			return err
+		}
+		defer in.close()
+		perArray[proc.Rank()] = in.perArray
+		if err := in.runBody(p.Body); err != nil {
+			return err
+		}
+		// Fold the per-array statistics into the processor total.
+		io := &proc.Stats().IO
+		for _, st := range in.perArray {
+			io.Add(*st)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("exec: %w", err)
+	}
+	return &Result{Stats: stats, Program: p, PerArray: perArray, fs: fs, mach: mach, phantom: opts.Phantom}, nil
+}
+
+// ReadArray assembles the named array's global contents from the local
+// array files (verification helper; unaccounted).
+func (r *Result) ReadArray(name string) (*matrix.Matrix, error) {
+	if r.phantom {
+		return nil, fmt.Errorf("exec: cannot read arrays from a phantom run")
+	}
+	spec, ok := r.Program.Array(name)
+	if !ok {
+		return nil, fmt.Errorf("exec: unknown array %q", name)
+	}
+	dm, err := spec.DistArray(r.Program.Procs)
+	if err != nil {
+		return nil, err
+	}
+	out := matrix.New(spec.Rows, spec.Cols)
+	for proc := 0; proc < r.Program.Procs; proc++ {
+		disk := iosim.NewDisk(r.fs, r.mach, nil)
+		laf, err := disk.OpenLAF(fmt.Sprintf("%s.p%d.laf", name, proc), int64(dm.LocalElems(proc)))
+		if err != nil {
+			return nil, err
+		}
+		data, _, err := laf.ReadAll()
+		laf.Close()
+		if err != nil {
+			return nil, err
+		}
+		shape := dm.LocalShape(proc)
+		rows, cols := shape[0], shape[1]
+		for lj := 0; lj < cols; lj++ {
+			gj := dm.Dims[1].ToGlobal(dm.ProcCoord(proc, 1), lj)
+			for li := 0; li < rows; li++ {
+				gi := dm.Dims[0].ToGlobal(dm.ProcCoord(proc, 0), li)
+				out.Set(gi, gj, data[lj*rows+li])
+			}
+		}
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// Interpreter
+
+type interp struct {
+	prog    *plan.Program
+	proc    *mp.Proc
+	phantom bool
+
+	arrays    map[string]*oocarray.Array
+	slabbings map[string]oocarray.Slabbing
+	vars      map[string]int
+	bufs      map[string]*oocarray.ICLA
+	vecs      map[string][]float64
+
+	// staging holds each output array's current staging buffer; autoIdx
+	// tracks the counter-driven slab index for AutoStage arrays (-1 when
+	// none is active).
+	staging map[string]*oocarray.ICLA
+	auto    map[string]bool
+	autoIdx map[string]int
+
+	// counter is the implicit global column counter of SumStore.
+	counter int
+
+	// readers caches a SlabReader per Stream-marked ReadSlab node, so
+	// sequential scans can be prefetched; readerNext tracks the slab
+	// index each reader will deliver.
+	readers    map[*plan.ReadSlab]*oocarray.SlabReader
+	readerNext map[*plan.ReadSlab]int
+
+	// perArray attributes I/O statistics to individual arrays.
+	perArray map[string]*trace.IOStats
+
+	// writers holds per-array write-behind pipelines when
+	// Options.Runtime.WriteBehind is set.
+	writers map[string]*oocarray.SlabWriter
+}
+
+func newInterp(p *plan.Program, proc *mp.Proc, fs iosim.FS, opts Options) (*interp, error) {
+	in := &interp{
+		prog:       p,
+		proc:       proc,
+		phantom:    opts.Phantom,
+		arrays:     make(map[string]*oocarray.Array),
+		slabbings:  make(map[string]oocarray.Slabbing),
+		vars:       make(map[string]int),
+		bufs:       make(map[string]*oocarray.ICLA),
+		vecs:       make(map[string][]float64),
+		staging:    make(map[string]*oocarray.ICLA),
+		auto:       make(map[string]bool),
+		autoIdx:    make(map[string]int),
+		readers:    make(map[*plan.ReadSlab]*oocarray.SlabReader),
+		readerNext: make(map[*plan.ReadSlab]int),
+		perArray:   make(map[string]*trace.IOStats),
+	}
+	for _, spec := range p.Arrays {
+		dm, err := spec.DistArray(p.Procs)
+		if err != nil {
+			return nil, err
+		}
+		arrStats := &trace.IOStats{}
+		in.perArray[spec.Name] = arrStats
+		disk := iosim.NewDisk(fs, proc.Config(), arrStats)
+		disk.SetPhantom(opts.Phantom)
+		arr, err := oocarray.New(disk, dm, proc.Rank(), proc.Clock(), opts.Runtime)
+		if err != nil {
+			return nil, err
+		}
+		arr.SetSpanLog(opts.Spans)
+		in.arrays[spec.Name] = arr
+		in.slabbings[spec.Name] = arr.Slabbing(spec.SlabDim, spec.SlabElems)
+		if opts.Runtime.WriteBehind {
+			if in.writers == nil {
+				in.writers = make(map[string]*oocarray.SlabWriter)
+			}
+			in.writers[spec.Name] = arr.NewSlabWriter()
+		}
+		if spec.Role == plan.In && !opts.Phantom {
+			if fill, ok := opts.Fill[spec.Name]; ok {
+				if err := arr.FillGlobal(fill); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return in, nil
+}
+
+func (in *interp) close() {
+	for _, w := range in.writers {
+		w.Flush()
+	}
+	for _, a := range in.arrays {
+		a.Close()
+	}
+}
+
+func (in *interp) runBody(body []plan.Node) error {
+	for _, n := range body {
+		if err := in.run(n); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (in *interp) run(n plan.Node) error {
+	switch n := n.(type) {
+	case *plan.Loop:
+		count, err := in.count(n.Count)
+		if err != nil {
+			return err
+		}
+		for v := 0; v < count; v++ {
+			in.vars[n.Var] = v
+			if err := in.runBody(n.Body); err != nil {
+				return err
+			}
+		}
+		delete(in.vars, n.Var)
+		return nil
+
+	case *plan.ReadSlab:
+		arr, err := in.array(n.Array)
+		if err != nil {
+			return err
+		}
+		idx, ok := in.vars[n.Index]
+		if !ok {
+			return fmt.Errorf("exec: ReadSlab index %q is not a live loop variable", n.Index)
+		}
+		icla, err := in.readSlab(n, arr, idx)
+		if err != nil {
+			return err
+		}
+		in.bufs[n.Buf] = icla
+		return nil
+
+	case *plan.NewStaging:
+		arr, err := in.array(n.Array)
+		if err != nil {
+			return err
+		}
+		like, ok := in.bufs[n.RowsLike]
+		if !ok {
+			return fmt.Errorf("exec: NewStaging rows-like buffer %q not read yet", n.RowsLike)
+		}
+		s := &oocarray.ICLA{
+			RowOff: like.RowOff, ColOff: 0,
+			Rows: like.Rows, Cols: arr.LocalCols(),
+			Data: make([]float64, like.Rows*arr.LocalCols()),
+		}
+		in.staging[n.Array] = s
+		in.bufs[n.Buf] = s
+		return nil
+
+	case *plan.AutoStage:
+		in.auto[n.Array] = true
+		in.autoIdx[n.Array] = -1
+		return nil
+
+	case *plan.FlushStage:
+		return in.flushStage(n.Array)
+
+	case *plan.WriteBuf:
+		arr, err := in.array(n.Array)
+		if err != nil {
+			return err
+		}
+		buf, ok := in.bufs[n.Buf]
+		if !ok {
+			return fmt.Errorf("exec: WriteBuf of unknown buffer %q", n.Buf)
+		}
+		if w := in.writers[n.Array]; w != nil {
+			return w.Write(buf)
+		}
+		return arr.WriteSection(buf)
+
+	case *plan.ZeroVec:
+		rows, err := in.vecRows(n)
+		if err != nil {
+			return err
+		}
+		v := in.vecs[n.Vec]
+		if len(v) != rows {
+			v = make([]float64, rows)
+			in.vecs[n.Vec] = v
+		} else if !in.phantom {
+			for i := range v {
+				v[i] = 0
+			}
+		}
+		return nil
+
+	case *plan.Axpy:
+		return in.axpy(n)
+
+	case *plan.SumStore:
+		return in.sumStore(n)
+
+	case *plan.ResetCounter:
+		in.counter = 0
+		return nil
+
+	case *plan.NewSlab:
+		return in.runNewSlab(n)
+
+	case *plan.Ewise:
+		return in.runEwise(n)
+
+	case *plan.ShiftEwise:
+		return in.runShiftEwise(n)
+
+	default:
+		return fmt.Errorf("exec: unknown node %T", n)
+	}
+}
+
+// readSlab fetches one slab, going through a prefetch-capable reader for
+// Stream-marked sequential scans and falling back to a direct read
+// otherwise.
+func (in *interp) readSlab(n *plan.ReadSlab, arr *oocarray.Array, idx int) (*oocarray.ICLA, error) {
+	if !n.Stream {
+		return arr.ReadSlab(in.slabbings[n.Array], idx)
+	}
+	r := in.readers[n]
+	if idx == 0 {
+		if r == nil {
+			r = arr.NewSlabReader(in.slabbings[n.Array])
+			in.readers[n] = r
+		} else {
+			r.Reset()
+		}
+		in.readerNext[n] = 0
+	}
+	if r == nil || in.readerNext[n] != idx {
+		// The scan hypothesis does not hold at runtime; stay correct
+		// with a direct read.
+		return arr.ReadSlab(in.slabbings[n.Array], idx)
+	}
+	icla, ok, err := r.Next()
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, fmt.Errorf("exec: stream reader for %q exhausted at slab %d", n.Array, idx)
+	}
+	in.readerNext[n] = idx + 1
+	return icla, nil
+}
+
+func (in *interp) array(name string) (*oocarray.Array, error) {
+	a, ok := in.arrays[name]
+	if !ok {
+		return nil, fmt.Errorf("exec: unknown array %q", name)
+	}
+	return a, nil
+}
+
+func (in *interp) count(c plan.CountExpr) (int, error) {
+	switch {
+	case c.SlabsOf != "":
+		s, ok := in.slabbings[c.SlabsOf]
+		if !ok {
+			return 0, fmt.Errorf("exec: slabs of unknown array %q", c.SlabsOf)
+		}
+		return s.Count, nil
+	case c.ColsOf != "":
+		b, ok := in.bufs[c.ColsOf]
+		if !ok {
+			return 0, fmt.Errorf("exec: cols of unread buffer %q", c.ColsOf)
+		}
+		return b.Cols, nil
+	default:
+		return c.Lit, nil
+	}
+}
+
+func (in *interp) vecRows(n *plan.ZeroVec) (int, error) {
+	if n.RowsLike != "" {
+		b, ok := in.bufs[n.RowsLike]
+		if !ok {
+			return 0, fmt.Errorf("exec: ZeroVec rows-like buffer %q not read yet", n.RowsLike)
+		}
+		return b.Rows, nil
+	}
+	arr, err := in.array(n.RowsOfArray)
+	if err != nil {
+		return 0, err
+	}
+	return arr.LocalRows(), nil
+}
+
+func (in *interp) axpy(n *plan.Axpy) error {
+	vec, ok := in.vecs[n.Vec]
+	if !ok {
+		return fmt.Errorf("exec: Axpy into unallocated vector %q", n.Vec)
+	}
+	a, ok := in.bufs[n.A]
+	if !ok {
+		return fmt.Errorf("exec: Axpy reads unread buffer %q", n.A)
+	}
+	b, ok := in.bufs[n.B]
+	if !ok {
+		return fmt.Errorf("exec: Axpy reads unread buffer %q", n.B)
+	}
+	aCol, ok := in.vars[n.ACol]
+	if !ok {
+		return fmt.Errorf("exec: Axpy column variable %q not live", n.ACol)
+	}
+	bCol, ok := in.vars[n.BCol]
+	if !ok {
+		return fmt.Errorf("exec: Axpy column variable %q not live", n.BCol)
+	}
+	row := 0
+	if n.BRowBase != "" {
+		base, ok := in.vars[n.BRowBase]
+		if !ok {
+			return fmt.Errorf("exec: Axpy row variable %q not live", n.BRowBase)
+		}
+		scale := 1
+		if n.BRowScale != "" {
+			s, ok := in.slabbings[n.BRowScale]
+			if !ok {
+				return fmt.Errorf("exec: Axpy slab width of unknown array %q", n.BRowScale)
+			}
+			scale = s.Width
+		}
+		row = base * scale
+	}
+	if n.BRowPlus != "" {
+		plus, ok := in.vars[n.BRowPlus]
+		if !ok {
+			return fmt.Errorf("exec: Axpy row variable %q not live", n.BRowPlus)
+		}
+		row += plus
+	}
+	if a.Rows != len(vec) {
+		return fmt.Errorf("exec: Axpy shape mismatch: vector %d vs slab rows %d", len(vec), a.Rows)
+	}
+	if !in.phantom {
+		col := a.Col(aCol)
+		bval := b.At(row, bCol)
+		for i, v := range col {
+			vec[i] += bval * v
+		}
+	}
+	in.proc.Compute(2 * int64(a.Rows))
+	return nil
+}
+
+func (in *interp) sumStore(n *plan.SumStore) error {
+	vec, ok := in.vecs[n.Vec]
+	if !ok {
+		return fmt.Errorf("exec: SumStore of unallocated vector %q", n.Vec)
+	}
+	arr, err := in.array(n.Array)
+	if err != nil {
+		return err
+	}
+	gj := in.counter
+	in.counter++
+	owner := arr.Dist().Dims[1].Owner(gj)
+	mine := owner == in.proc.Rank()
+
+	// The owner positions its (auto) staging slab before the reduction.
+	if mine && in.auto[n.Array] {
+		_, local := arr.Dist().ToLocal(0, gj)
+		slb := in.slabbings[n.Array]
+		idx := local[1] / slb.Width
+		if idx != in.autoIdx[n.Array] {
+			if err := in.flushStage(n.Array); err != nil {
+				return err
+			}
+			s, err := arr.NewSlab(slb, idx)
+			if err != nil {
+				return err
+			}
+			in.staging[n.Array] = s
+			in.autoIdx[n.Array] = idx
+		}
+	}
+
+	sum := in.proc.Reduce(owner, reduceTag, vec)
+	if !mine {
+		return nil
+	}
+	s := in.staging[n.Array]
+	if s == nil {
+		return fmt.Errorf("exec: SumStore into %q with no staging buffer", n.Array)
+	}
+	_, local := arr.Dist().ToLocal(0, gj)
+	lj := local[1] - s.ColOff
+	if lj < 0 || lj >= s.Cols {
+		return fmt.Errorf("exec: SumStore column %d outside staging [%d,+%d)", gj, s.ColOff, s.Cols)
+	}
+	if len(sum) != s.Rows {
+		return fmt.Errorf("exec: SumStore length %d vs staging rows %d", len(sum), s.Rows)
+	}
+	copy(s.Col(lj), sum)
+	return nil
+}
+
+func (in *interp) flushStage(name string) error {
+	s := in.staging[name]
+	if s == nil {
+		return nil
+	}
+	arr, err := in.array(name)
+	if err != nil {
+		return err
+	}
+	if w := in.writers[name]; w != nil {
+		if err := w.Write(s); err != nil {
+			return err
+		}
+	} else if err := arr.WriteSection(s); err != nil {
+		return err
+	}
+	in.staging[name] = nil
+	return nil
+}

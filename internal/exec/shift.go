@@ -1,0 +1,210 @@
+package exec
+
+import (
+	"fmt"
+
+	"github.com/ooc-hpf/passion/internal/oocarray"
+	"github.com/ooc-hpf/passion/internal/plan"
+)
+
+// shiftTagBase tags the boundary-column exchange messages.
+const shiftTagBase = 101
+
+// runShiftEwise executes a FORALL with shifted column references: first
+// the boundary-column exchange with the neighboring processors, then a
+// slab sweep with column halos.
+func (in *interp) runShiftEwise(n *plan.ShiftEwise) error {
+	out, err := in.array(n.Out)
+	if err != nil {
+		return err
+	}
+	inputs := collectShiftInputs(n.Expr, nil)
+	rows := out.LocalRows()
+	localCols := out.LocalCols()
+
+	// Phase 1: ghost exchange. ghosts[name][0] holds the GhostLeft
+	// columns just below this block, ghosts[name][1] the GhostRight
+	// columns just above it (column-major, rows x width).
+	ghosts := make(map[string][2][]float64, len(inputs))
+	rank, size := in.proc.Rank(), in.proc.Size()
+	for gi, name := range inputs {
+		arr, err := in.array(name)
+		if err != nil {
+			return err
+		}
+		if arr.LocalCols() != localCols || arr.LocalRows() != rows {
+			return fmt.Errorf("exec: shift input %q shape differs from output", name)
+		}
+		tag := shiftTagBase + 2*gi
+		// Send my last GhostLeft columns rightward (they are the right
+		// neighbor's left ghost) and my first GhostRight columns
+		// leftward.
+		if n.GhostLeft > 0 && rank < size-1 {
+			sec, err := arr.ReadSection(0, localCols-n.GhostLeft, rows, n.GhostLeft)
+			if err != nil {
+				return err
+			}
+			in.proc.Send(rank+1, tag, sec.Data)
+		}
+		if n.GhostRight > 0 && rank > 0 {
+			sec, err := arr.ReadSection(0, 0, rows, n.GhostRight)
+			if err != nil {
+				return err
+			}
+			in.proc.Send(rank-1, tag+1, sec.Data)
+		}
+		var g [2][]float64
+		if n.GhostLeft > 0 && rank > 0 {
+			g[0] = in.proc.Recv(rank-1, tag)
+		}
+		if n.GhostRight > 0 && rank < size-1 {
+			g[1] = in.proc.Recv(rank+1, tag+1)
+		}
+		ghosts[name] = g
+	}
+
+	// Phase 2: slab sweep with column halos.
+	slb := in.slabbings[n.Out]
+	colMap := out.Dist().Dims[1]
+	for idx := 0; idx < slb.Count; idx++ {
+		// The output slab's previous contents are the base: columns
+		// outside [Lo, Hi] keep them.
+		staging, err := out.ReadSlab(slb, idx)
+		if err != nil {
+			return err
+		}
+		c0, width := staging.ColOff, staging.Cols
+		// Halo sections of every input, clipped to the local block.
+		h0 := c0 - n.GhostLeft
+		if h0 < 0 {
+			h0 = 0
+		}
+		hEnd := c0 + width + n.GhostRight
+		if hEnd > localCols {
+			hEnd = localCols
+		}
+		halos := make(map[string]*oocarray.ICLA, len(inputs))
+		for _, name := range inputs {
+			arr, err := in.array(name)
+			if err != nil {
+				return err
+			}
+			sec, err := arr.ReadSection(0, h0, rows, hEnd-h0)
+			if err != nil {
+				return err
+			}
+			halos[name] = sec
+		}
+		for c := c0; c < c0+width; c++ {
+			k := colMap.ToGlobal(rank, c)
+			if k < n.Lo || k > n.Hi {
+				continue
+			}
+			col, err := in.evalShiftColumn(n.Expr, c, rows, localCols, h0, halos, ghosts)
+			if err != nil {
+				return err
+			}
+			if !in.phantom {
+				copy(staging.Col(c-c0), col)
+			}
+			in.proc.Compute(int64(n.Expr.Ops()) * int64(rows))
+		}
+		if err := out.WriteSection(staging); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// evalShiftColumn evaluates the expression for output local column c.
+func (in *interp) evalShiftColumn(e plan.EExpr, c, rows, localCols, h0 int,
+	halos map[string]*oocarray.ICLA, ghosts map[string][2][]float64) ([]float64, error) {
+	switch e := e.(type) {
+	case *plan.EConst:
+		col := make([]float64, rows)
+		if !in.phantom {
+			for i := range col {
+				col[i] = e.V
+			}
+		}
+		return col, nil
+	case *plan.EBufShift:
+		col := make([]float64, rows)
+		if in.phantom {
+			return col, nil
+		}
+		src := c + e.Shift
+		switch {
+		case src < 0: // left ghost
+			g := ghosts[e.Array][0]
+			off := (len(g)/rows + src) * rows // src in [-L, -1]
+			if off < 0 || off+rows > len(g) {
+				return nil, fmt.Errorf("exec: shift column %d of %q outside the left ghost", src, e.Array)
+			}
+			copy(col, g[off:off+rows])
+		case src >= localCols: // right ghost
+			g := ghosts[e.Array][1]
+			off := (src - localCols) * rows
+			if off < 0 || off+rows > len(g) {
+				return nil, fmt.Errorf("exec: shift column %d of %q outside the right ghost", src, e.Array)
+			}
+			copy(col, g[off:off+rows])
+		default: // local, through the halo section
+			h := halos[e.Array]
+			copy(col, h.Col(src-h0))
+		}
+		return col, nil
+	case *plan.EBin:
+		l, err := in.evalShiftColumn(e.L, c, rows, localCols, h0, halos, ghosts)
+		if err != nil {
+			return nil, err
+		}
+		r, err := in.evalShiftColumn(e.R, c, rows, localCols, h0, halos, ghosts)
+		if err != nil {
+			return nil, err
+		}
+		if !in.phantom {
+			switch e.Op {
+			case '+':
+				for i := range l {
+					l[i] += r[i]
+				}
+			case '-':
+				for i := range l {
+					l[i] -= r[i]
+				}
+			case '*':
+				for i := range l {
+					l[i] *= r[i]
+				}
+			case '/':
+				for i := range l {
+					l[i] /= r[i]
+				}
+			default:
+				return nil, fmt.Errorf("exec: unknown operator %q", e.Op)
+			}
+		}
+		return l, nil
+	default:
+		return nil, fmt.Errorf("exec: unsupported expression %T in shifted FORALL", e)
+	}
+}
+
+// collectShiftInputs gathers the distinct arrays referenced by the
+// expression, in first-use order.
+func collectShiftInputs(e plan.EExpr, acc []string) []string {
+	switch e := e.(type) {
+	case *plan.EBufShift:
+		for _, name := range acc {
+			if name == e.Array {
+				return acc
+			}
+		}
+		return append(acc, e.Array)
+	case *plan.EBin:
+		return collectShiftInputs(e.R, collectShiftInputs(e.L, acc))
+	default:
+		return acc
+	}
+}

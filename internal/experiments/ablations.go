@@ -1,0 +1,145 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/ooc-hpf/passion/internal/compiler"
+	"github.com/ooc-hpf/passion/internal/gaxpy"
+	"github.com/ooc-hpf/passion/internal/hpf"
+	"github.com/ooc-hpf/passion/internal/oocarray"
+	"github.com/ooc-hpf/passion/internal/sim"
+)
+
+// AblationResult collects the design-choice studies of DESIGN.md §5:
+// prefetching, data sieving, the memory allocation policies, and the
+// machine-model sensitivity of the strategy choice.
+type AblationResult struct {
+	N, Procs int
+
+	// Row-slab simulated seconds with runtime options toggled.
+	Baseline, Prefetch, Sieve, SievePrefetch, WriteBehind, AllOpts float64
+
+	// Requests/bytes moved for A under plain vs sieved row slabs.
+	PlainRequests, SievedRequests int64
+	PlainBytes, SievedBytes       int64
+
+	// Compiler memory policies: estimated I/O seconds and chosen splits.
+	PolicySeconds map[string]float64
+	PolicySplits  map[string][2]int
+
+	// Strategy selection on a Delta-like vs a modern machine: the
+	// column/row estimated cost ratios.
+	DeltaRatio, ModernRatio float64
+}
+
+// Ablations runs the design-choice studies at the given scale.
+func Ablations(p Params) (*AblationResult, error) {
+	p = p.withDefaults(512)
+	procs := p.Procs[0]
+	n := p.N
+	mach := p.Machine(procs)
+	slab := slabForRatio(n, procs, 8)
+	res := &AblationResult{N: n, Procs: procs}
+
+	runRow := func(opts oocarray.Options) (*gaxpy.Run, error) {
+		return gaxpy.RunRowSlab(mach, gaxpy.Config{
+			N: n, SlabA: slab, SlabB: slab, Phantom: !p.Real, Opts: opts,
+		})
+	}
+	base, err := runRow(oocarray.Options{})
+	if err != nil {
+		return nil, err
+	}
+	res.Baseline = base.Stats.ElapsedSeconds()
+	pre, err := runRow(oocarray.Options{Prefetch: true})
+	if err != nil {
+		return nil, err
+	}
+	res.Prefetch = pre.Stats.ElapsedSeconds()
+	sieve, err := runRow(oocarray.Options{Sieve: true})
+	if err != nil {
+		return nil, err
+	}
+	res.Sieve = sieve.Stats.ElapsedSeconds()
+	both, err := runRow(oocarray.Options{Sieve: true, Prefetch: true})
+	if err != nil {
+		return nil, err
+	}
+	res.SievePrefetch = both.Stats.ElapsedSeconds()
+	wb, err := runRow(oocarray.Options{WriteBehind: true})
+	if err != nil {
+		return nil, err
+	}
+	res.WriteBehind = wb.Stats.ElapsedSeconds()
+	all, err := runRow(oocarray.Options{Sieve: true, Prefetch: true, WriteBehind: true})
+	if err != nil {
+		return nil, err
+	}
+	res.AllOpts = all.Stats.ElapsedSeconds()
+
+	bio, sio := base.MaxArrayIO(), sieve.MaxArrayIO()
+	res.PlainRequests, res.SievedRequests = bio.A.ReadRequests, sio.A.ReadRequests
+	res.PlainBytes, res.SievedBytes = bio.A.BytesRead, sio.A.BytesRead
+
+	// Memory policies through the compiler.
+	res.PolicySeconds = make(map[string]float64)
+	res.PolicySplits = make(map[string][2]int)
+	mem := 2 * slab
+	for _, pol := range []compiler.MemPolicy{compiler.PolicyEven, compiler.PolicyWeighted, compiler.PolicySearch} {
+		cres, err := compiler.CompileSource(hpf.GaxpySource, compiler.Options{
+			N: n, Procs: procs, MemElems: mem, Policy: pol, Machine: mach,
+		})
+		if err != nil {
+			return nil, err
+		}
+		a, _ := cres.Program.Array("a")
+		b, _ := cres.Program.Array("b")
+		res.PolicySeconds[pol.String()] = cres.Candidates[cres.Chosen].Seconds(mach)
+		res.PolicySplits[pol.String()] = [2]int{a.SlabElems, b.SlabElems}
+	}
+
+	// Machine sensitivity: how much the reorganization buys on the Delta
+	// vs on a modern NVMe-class node.
+	ratio := func(m sim.Config) (float64, error) {
+		cres, err := compiler.CompileSource(hpf.GaxpySource, compiler.Options{
+			N: n, Procs: procs, MemElems: mem, Machine: m,
+		})
+		if err != nil {
+			return 0, err
+		}
+		col := cres.Candidates[0].Seconds(m)
+		row := cres.Candidates[1].Seconds(m)
+		return col / row, nil
+	}
+	if res.DeltaRatio, err = ratio(sim.Delta(procs)); err != nil {
+		return nil, err
+	}
+	if res.ModernRatio, err = ratio(sim.Modern(procs)); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// Format renders the ablation report.
+func (r *AblationResult) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Ablations: row-slab GAXPY, %dx%d on %d processors (slab ratio 1/8)\n", r.N, r.N, r.Procs)
+	fmt.Fprintf(&b, "  runtime options (simulated seconds):\n")
+	fmt.Fprintf(&b, "    baseline          %10.2f\n", r.Baseline)
+	fmt.Fprintf(&b, "    prefetch          %10.2f\n", r.Prefetch)
+	fmt.Fprintf(&b, "    data sieving      %10.2f\n", r.Sieve)
+	fmt.Fprintf(&b, "    sieve + prefetch  %10.2f\n", r.SievePrefetch)
+	fmt.Fprintf(&b, "    write-behind      %10.2f\n", r.WriteBehind)
+	fmt.Fprintf(&b, "    all three         %10.2f\n", r.AllOpts)
+	fmt.Fprintf(&b, "  data sieving trade (array A): requests %d -> %d, bytes %d -> %d\n",
+		r.PlainRequests, r.SievedRequests, r.PlainBytes, r.SievedBytes)
+	fmt.Fprintf(&b, "  memory policies (estimated I/O seconds, slab A/B split in elements):\n")
+	for _, pol := range []string{"even", "weighted", "search"} {
+		s := r.PolicySplits[pol]
+		fmt.Fprintf(&b, "    %-9s %10.2f  (%d / %d)\n", pol, r.PolicySeconds[pol], s[0], s[1])
+	}
+	fmt.Fprintf(&b, "  column/row estimated cost ratio: Delta %.1fx, modern NVMe node %.1fx\n",
+		r.DeltaRatio, r.ModernRatio)
+	return b.String()
+}

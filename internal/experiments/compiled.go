@@ -1,0 +1,152 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/ooc-hpf/passion/internal/compiler"
+	"github.com/ooc-hpf/passion/internal/exec"
+	"github.com/ooc-hpf/passion/internal/gaxpy"
+	"github.com/ooc-hpf/passion/internal/hpf"
+	"github.com/ooc-hpf/passion/internal/lu"
+)
+
+// CompiledRow compares the compiled pipeline (hpf -> compiler -> exec)
+// against the hand-coded Figure 12 program at one configuration.
+type CompiledRow struct {
+	Procs        int
+	Strategy     string
+	CompiledSec  float64
+	HandSec      float64
+	CompiledReqs int64
+	HandReqs     int64
+	Match        bool
+}
+
+// CompiledResult is the end-to-end cross-check: the compiler's output
+// must behave exactly like the paper's hand-written translation.
+type CompiledResult struct {
+	N    int
+	Rows []CompiledRow
+}
+
+// Compiled runs the cross-check over the processor sweep.
+func Compiled(p Params) (*CompiledResult, error) {
+	p = p.withDefaults(512)
+	res := &CompiledResult{N: p.N}
+	for _, procs := range p.Procs {
+		mach := p.Machine(procs)
+		slab := slabForRatio(p.N, procs, 8)
+		cres, err := compiler.CompileSource(hpf.GaxpySource, compiler.Options{
+			N: p.N, Procs: procs, MemElems: 2*slab + p.N,
+			Policy: compiler.PolicyEven, Machine: mach,
+		})
+		if err != nil {
+			return nil, err
+		}
+		a, _ := cres.Program.Array("a")
+		b, _ := cres.Program.Array("b")
+		c, _ := cres.Program.Array("c")
+		out, err := exec.Run(cres.Program, mach, exec.Options{Phantom: !p.Real, Runtime: p.Opts})
+		if err != nil {
+			return nil, err
+		}
+		hand, err := gaxpy.RunRowSlab(mach, gaxpy.Config{
+			N: p.N, SlabA: a.SlabElems, SlabB: b.SlabElems, SlabC: c.SlabElems,
+			Phantom: !p.Real, Opts: p.Opts,
+		})
+		if err != nil {
+			return nil, err
+		}
+		row := CompiledRow{
+			Procs:        procs,
+			Strategy:     cres.Program.Strategy,
+			CompiledSec:  out.Stats.ElapsedSeconds(),
+			HandSec:      hand.Stats.ElapsedSeconds(),
+			CompiledReqs: out.Stats.TotalIO().Requests(),
+			HandReqs:     hand.Stats.TotalIO().Requests(),
+		}
+		d := row.CompiledSec - row.HandSec
+		row.Match = row.CompiledReqs == row.HandReqs && d < 1e-6 && d > -1e-6
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// AllMatch reports whether the compiled pipeline matched the hand-coded
+// translation at every configuration.
+func (r *CompiledResult) AllMatch() bool {
+	for _, row := range r.Rows {
+		if !row.Match {
+			return false
+		}
+	}
+	return true
+}
+
+// Format renders the cross-check table.
+func (r *CompiledResult) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Compiled pipeline vs hand-coded Figure 12 translation, %dx%d (slab ratio 1/8)\n", r.N, r.N)
+	fmt.Fprintf(&b, "%-6s %-12s %14s %14s %12s %12s %s\n",
+		"P", "strategy", "compiled", "hand-coded", "reqs(c)", "reqs(h)", "match")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-6d %-12s %13.2fs %13.2fs %12d %12d %v\n",
+			row.Procs, row.Strategy, row.CompiledSec, row.HandSec,
+			row.CompiledReqs, row.HandReqs, row.Match)
+	}
+	fmt.Fprintf(&b, "all match: %v\n", r.AllMatch())
+	return b.String()
+}
+
+// ---------------------------------------------------------------------------
+
+// LURow is one panel-width configuration of the LU sweep.
+type LURow struct {
+	PanelWidth int
+	Panels     int
+	PanelReads int64
+	Seconds    float64
+}
+
+// LUResult is the out-of-core LU slab-size sweep: the Figure 10 effect on
+// a second workload.
+type LUResult struct {
+	N, Procs int
+	Rows     []LURow
+}
+
+// LU sweeps the panel width of the out-of-core LU factorization.
+func LU(p Params) (*LUResult, error) {
+	p = p.withDefaults(512)
+	procs := p.Procs[0]
+	n := p.N
+	res := &LUResult{N: n, Procs: procs}
+	for w := n / procs / 8; w <= n/procs; w *= 2 {
+		if w < 1 {
+			continue
+		}
+		r, err := lu.Run(p.Machine(procs), lu.Config{N: n, PanelWidth: w})
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, LURow{
+			PanelWidth: w,
+			Panels:     n / w,
+			PanelReads: r.Stats.TotalIO().SlabReads,
+			Seconds:    r.Stats.ElapsedSeconds(),
+		})
+	}
+	return res, nil
+}
+
+// Format renders the sweep.
+func (r *LUResult) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Out-of-core LU, %dx%d over %d processors: panel width sweep\n", r.N, r.N, r.Procs)
+	fmt.Fprintf(&b, "%-12s %10s %14s %12s\n", "panel width", "panels", "panel reads", "sim time")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-12d %10d %14d %11.2fs\n", row.PanelWidth, row.Panels, row.PanelReads, row.Seconds)
+	}
+	return b.String()
+}

@@ -1,0 +1,243 @@
+package gaxpy
+
+import (
+	"fmt"
+
+	"github.com/ooc-hpf/passion/internal/mp"
+	"github.com/ooc-hpf/passion/internal/oocarray"
+	"github.com/ooc-hpf/passion/internal/sim"
+)
+
+// RunInCore executes the distributed in-core GAXPY program of Figure 5:
+// each array is read from disk once up front, the whole computation runs
+// from memory, and C is written back once.
+func RunInCore(mach sim.Config, cfg Config) (*Run, error) {
+	return run(mach, cfg, "in-core", inCoreNode)
+}
+
+// RunColumnSlab executes the column-slab out-of-core translation of
+// Figure 9 — the straightforward extension of in-core compilation, which
+// re-streams the entire local array of A for every global column of C.
+func RunColumnSlab(mach sim.Config, cfg Config) (*Run, error) {
+	return run(mach, cfg, "column-slab", columnSlabNode)
+}
+
+// RunRowSlab executes the reorganized row-slab translation of Figure 12:
+// A is streamed exactly once in row slabs and the global sums produce
+// subcolumns of C.
+func RunRowSlab(mach sim.Config, cfg Config) (*Run, error) {
+	return run(mach, cfg, "row-slab", rowSlabNode)
+}
+
+// Variants maps variant names to runners, for the benchmark drivers.
+var Variants = map[string]func(sim.Config, Config) (*Run, error){
+	"in-core":     RunInCore,
+	"column-slab": RunColumnSlab,
+	"row-slab":    RunRowSlab,
+}
+
+// axpyInto computes temp += a*bval over whole slices, or just charges the
+// flops in phantom mode.
+func axpyInto(p *mp.Proc, temp, a []float64, bval float64, phantom bool) {
+	if !phantom {
+		for i, v := range a {
+			temp[i] += bval * v
+		}
+	}
+	p.Compute(2 * int64(len(a)))
+}
+
+func zero(x []float64) {
+	for i := range x {
+		x[i] = 0
+	}
+}
+
+// cOwnerStore delivers a reduced (sub)column of C into the owner's staging
+// slab. Every processor participates in the reduction for global column
+// gj; the owner copies the result into column gj's local position.
+func cOwnerStore(p *mp.Proc, ar *arrays, gj, tag int, temp []float64, staging *oocarray.ICLA) error {
+	owner := ar.c.Dist().Dims[1].Owner(gj)
+	sum := p.Reduce(owner, tag, temp)
+	if p.Rank() != owner {
+		return nil
+	}
+	_, local := ar.c.Dist().ToLocal(0, gj)
+	lj := local[1] - staging.ColOff
+	if lj < 0 || lj >= staging.Cols {
+		return fmt.Errorf("gaxpy: column %d outside staging slab [%d,+%d)", gj, staging.ColOff, staging.Cols)
+	}
+	copy(staging.Col(lj), sum)
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// In-core (Figure 5)
+
+func inCoreNode(p *mp.Proc, ar *arrays, cfg Config) error {
+	n := cfg.N
+	// Initial read: the whole local arrays in one transfer each.
+	aAll, err := ar.a.ReadSection(0, 0, ar.a.LocalRows(), ar.a.LocalCols())
+	if err != nil {
+		return err
+	}
+	bAll, err := ar.b.ReadSection(0, 0, ar.b.LocalRows(), ar.b.LocalCols())
+	if err != nil {
+		return err
+	}
+	cAll := &oocarray.ICLA{Rows: ar.c.LocalRows(), Cols: ar.c.LocalCols(),
+		Data: make([]float64, ar.c.LocalElems())}
+
+	temp := make([]float64, n)
+	for gj := 0; gj < n; gj++ {
+		if !cfg.Phantom {
+			zero(temp)
+		}
+		// Partial sum over this processor's block of k (Equation 2):
+		// local column i of A pairs with local row i of B.
+		for i := 0; i < aAll.Cols; i++ {
+			axpyInto(p, temp, aAll.Col(i), bAll.At(i, gj), cfg.Phantom)
+		}
+		if err := cOwnerStore(p, ar, gj, tagColumnSum, temp, cAll); err != nil {
+			return err
+		}
+	}
+	// Write the result once.
+	return ar.c.WriteSection(cAll)
+}
+
+// ---------------------------------------------------------------------------
+// Column-slab out-of-core (Figure 9)
+
+func columnSlabNode(p *mp.Proc, ar *arrays, cfg Config) error {
+	n := cfg.N
+	slabsB := ar.b.Slabbing(oocarray.ByColumn, cfg.SlabB)
+	slabsA := ar.a.Slabbing(oocarray.ByColumn, cfg.SlabA)
+	slabsC := ar.c.Slabbing(oocarray.ByColumn, cfg.SlabC)
+
+	myRank := p.Rank()
+	var staging *oocarray.ICLA
+	stagingIdx := -1
+	// ensureStaging positions the C output slab that holds local column
+	// lj, flushing the previous one.
+	ensureStaging := func(lj int) error {
+		idx := lj / slabsC.Width
+		if idx == stagingIdx {
+			return nil
+		}
+		if staging != nil {
+			if err := ar.c.WriteSection(staging); err != nil {
+				return err
+			}
+		}
+		var err error
+		staging, err = ar.c.NewSlab(slabsC, idx)
+		if err != nil {
+			return err
+		}
+		stagingIdx = idx
+		return nil
+	}
+
+	temp := make([]float64, n)
+	gj := 0
+	for l := 0; l < slabsB.Count; l++ {
+		bSlab, err := ar.b.ReadSlab(slabsB, l)
+		if err != nil {
+			return err
+		}
+		for m := 0; m < bSlab.Cols; m++ {
+			if !cfg.Phantom {
+				zero(temp)
+			}
+			// Re-stream the whole local array of A for this column.
+			columnCount := 0
+			for na := 0; na < slabsA.Count; na++ {
+				aSlab, err := ar.a.ReadSlab(slabsA, na)
+				if err != nil {
+					return err
+				}
+				for i := 0; i < aSlab.Cols; i++ {
+					axpyInto(p, temp, aSlab.Col(i), bSlab.At(columnCount, m), cfg.Phantom)
+					columnCount++
+				}
+			}
+			// The owner of column gj must have its staging slab in
+			// place before the reduction delivers the column.
+			if ar.c.Dist().Dims[1].Owner(gj) == myRank {
+				_, local := ar.c.Dist().ToLocal(0, gj)
+				if err := ensureStaging(local[1]); err != nil {
+					return err
+				}
+			}
+			if err := cOwnerStore(p, ar, gj, tagColumnSum, temp, staging); err != nil {
+				return err
+			}
+			gj++
+		}
+	}
+	if staging != nil {
+		return ar.c.WriteSection(staging)
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Row-slab out-of-core (Figure 12)
+
+func rowSlabNode(p *mp.Proc, ar *arrays, cfg Config) error {
+	slabsA := ar.a.Slabbing(oocarray.ByRow, cfg.SlabA)
+	slabsB := ar.b.Slabbing(oocarray.ByColumn, cfg.SlabB)
+	readerA := ar.a.NewSlabReader(slabsA)
+	var writerC *oocarray.SlabWriter
+	if cfg.Opts.WriteBehind {
+		writerC = ar.c.NewSlabWriter()
+		defer writerC.Flush()
+	}
+
+	for l := 0; l < slabsA.Count; l++ {
+		aSlab, ok, err := readerA.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return fmt.Errorf("gaxpy: A slab reader exhausted at %d of %d", l, slabsA.Count)
+		}
+		// The C subcolumns produced from this row slab cover the same
+		// rows for all of this processor's columns.
+		staging := &oocarray.ICLA{
+			RowOff: aSlab.RowOff, ColOff: 0,
+			Rows: aSlab.Rows, Cols: ar.c.LocalCols(),
+			Data: make([]float64, aSlab.Rows*ar.c.LocalCols()),
+		}
+		temp := make([]float64, aSlab.Rows)
+		gj := 0
+		// B is re-streamed once per row slab of A.
+		for nb := 0; nb < slabsB.Count; nb++ {
+			bSlab, err := ar.b.ReadSlab(slabsB, nb)
+			if err != nil {
+				return err
+			}
+			for m := 0; m < bSlab.Cols; m++ {
+				if !cfg.Phantom {
+					zero(temp)
+				}
+				for i := 0; i < aSlab.Cols; i++ {
+					axpyInto(p, temp, aSlab.Col(i), bSlab.At(i, m), cfg.Phantom)
+				}
+				if err := cOwnerStore(p, ar, gj, tagSubcolSum, temp, staging); err != nil {
+					return err
+				}
+				gj++
+			}
+		}
+		if writerC != nil {
+			if err := writerC.Write(staging); err != nil {
+				return err
+			}
+		} else if err := ar.c.WriteSection(staging); err != nil {
+			return err
+		}
+	}
+	return nil
+}

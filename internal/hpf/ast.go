@@ -1,0 +1,303 @@
+package hpf
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Program is a parsed mini-HPF program.
+type Program struct {
+	// Params holds PARAMETER constants in declaration order.
+	Params []Param
+	// Arrays holds REAL array declarations.
+	Arrays []ArrayDecl
+	// Processors, Template, Distribute and Aligns are the HPF mapping
+	// directives.
+	Processors *ProcessorsDir
+	Template   *TemplateDir
+	Distribute *DistributeDir
+	Aligns     []AlignDir
+	// OutOfCore lists arrays annotated "!hpf$ out_of_core :: a, b"; an
+	// empty list means every array is treated as out of core.
+	OutOfCore []string
+	// Memory is the "!hpf$ memory (expr)" node-memory annotation (in
+	// array elements), or nil.
+	Memory Expr
+	// Body is the executable part.
+	Body []Stmt
+}
+
+// Param is one PARAMETER constant.
+type Param struct {
+	Name  string
+	Value int
+}
+
+// ParamValue looks up a PARAMETER by name.
+func (p *Program) ParamValue(name string) (int, bool) {
+	for _, pr := range p.Params {
+		if pr.Name == name {
+			return pr.Value, true
+		}
+	}
+	return 0, false
+}
+
+// Array looks up an array declaration by name.
+func (p *Program) Array(name string) (ArrayDecl, bool) {
+	for _, a := range p.Arrays {
+		if a.Name == name {
+			return a, true
+		}
+	}
+	return ArrayDecl{}, false
+}
+
+// ArrayDecl declares a REAL array with the given dimension extents.
+type ArrayDecl struct {
+	Name string
+	Dims []Expr
+}
+
+// ProcessorsDir is "!hpf$ processors NAME(extent{,extent})"; more than
+// one extent declares a multi-dimensional processor grid.
+type ProcessorsDir struct {
+	Name  string
+	Sizes []Expr
+}
+
+// Size returns the first extent (the whole grid for 1-D arrangements).
+func (d *ProcessorsDir) Size() Expr { return d.Sizes[0] }
+
+// TemplateDir is "!hpf$ template NAME(extent{,extent})".
+type TemplateDir struct {
+	Name  string
+	Sizes []Expr
+}
+
+// Size returns the first extent.
+func (d *TemplateDir) Size() Expr { return d.Sizes[0] }
+
+// DistributeDir is "!hpf$ distribute NAME(scheme{,scheme}) on PROCS".
+type DistributeDir struct {
+	Template string
+	Schemes  []string // "block", "cyclic", one per template dimension
+	Arg      Expr     // block size for cyclic(k); nil otherwise
+	Procs    string
+}
+
+// Scheme returns the first dimension's scheme.
+func (d *DistributeDir) Scheme() string { return d.Schemes[0] }
+
+// AlignDir is "!hpf$ align (pattern) with TEMPLATE :: names".
+// Pattern entries are '*' (collapsed) or ':' (aligned with the template).
+type AlignDir struct {
+	Pattern []AlignAxis
+	With    string
+	Arrays  []string
+}
+
+// AlignAxis is one axis of an ALIGN pattern.
+type AlignAxis int
+
+// Alignment kinds.
+const (
+	AxisCollapsed AlignAxis = iota // '*'
+	AxisAligned                    // ':'
+)
+
+// Stmt is an executable statement.
+type Stmt interface {
+	stmt()
+	// Pretty renders the statement with the given indentation.
+	Pretty(indent int) string
+}
+
+// DoLoop is a sequential "do var = lo, hi ... end do".
+type DoLoop struct {
+	Var    string
+	Lo, Hi Expr
+	Body   []Stmt
+}
+
+// Forall is "FORALL (var = lo:hi) ... end FORALL".
+type Forall struct {
+	Var    string
+	Lo, Hi Expr
+	Body   []Stmt
+}
+
+// Assign is an (array-section) assignment statement.
+type Assign struct {
+	LHS *SectionRef
+	RHS Expr
+}
+
+func (*DoLoop) stmt() {}
+func (*Forall) stmt() {}
+func (*Assign) stmt() {}
+
+// Expr is an expression node.
+type Expr interface {
+	expr()
+	String() string
+}
+
+// Num is an integer literal.
+type Num struct{ Value int }
+
+// Ident is a scalar reference (parameter or loop variable).
+type Ident struct{ Name string }
+
+// BinOp is a binary arithmetic expression.
+type BinOp struct {
+	Op   byte // '+', '-', '*', '/'
+	L, R Expr
+}
+
+// SectionRef is an array reference with subscripts, e.g. a(1:n, k).
+type SectionRef struct {
+	Array string
+	Subs  []Subscript
+}
+
+// SumIntrinsic is SUM(array, dim): reduce the named array along the given
+// (1-based) dimension.
+type SumIntrinsic struct {
+	Arg *SectionRef
+	Dim Expr
+}
+
+func (*Num) expr()          {}
+func (*Ident) expr()        {}
+func (*BinOp) expr()        {}
+func (*SectionRef) expr()   {}
+func (*SumIntrinsic) expr() {}
+
+// Subscript is one dimension of an array reference: a single index or a
+// lo:hi range.
+type Subscript struct {
+	// Index is the single-point subscript; nil for a range.
+	Index Expr
+	// Lo and Hi bound a range subscript; nil for a single index.
+	Lo, Hi Expr
+}
+
+// IsRange reports whether the subscript is a lo:hi section.
+func (s Subscript) IsRange() bool { return s.Index == nil }
+
+// ---------------------------------------------------------------------------
+// Printing
+
+func (n *Num) String() string   { return fmt.Sprintf("%d", n.Value) }
+func (n *Ident) String() string { return n.Name }
+func (n *BinOp) String() string {
+	return fmt.Sprintf("(%s%c%s)", n.L.String(), n.Op, n.R.String())
+}
+func (n *SectionRef) String() string {
+	if len(n.Subs) == 0 {
+		return n.Array
+	}
+	parts := make([]string, len(n.Subs))
+	for i, s := range n.Subs {
+		if s.IsRange() {
+			parts[i] = s.Lo.String() + ":" + s.Hi.String()
+		} else {
+			parts[i] = s.Index.String()
+		}
+	}
+	return n.Array + "(" + strings.Join(parts, ",") + ")"
+}
+func (n *SumIntrinsic) String() string {
+	return fmt.Sprintf("SUM(%s,%s)", n.Arg.String(), n.Dim.String())
+}
+
+func pad(indent int) string { return strings.Repeat("  ", indent) }
+
+// Pretty renders the loop.
+func (s *DoLoop) Pretty(indent int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%sdo %s = %s, %s\n", pad(indent), s.Var, s.Lo.String(), s.Hi.String())
+	for _, st := range s.Body {
+		b.WriteString(st.Pretty(indent + 1))
+	}
+	fmt.Fprintf(&b, "%send do\n", pad(indent))
+	return b.String()
+}
+
+// Pretty renders the FORALL.
+func (s *Forall) Pretty(indent int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%sFORALL (%s = %s:%s)\n", pad(indent), s.Var, s.Lo.String(), s.Hi.String())
+	for _, st := range s.Body {
+		b.WriteString(st.Pretty(indent + 1))
+	}
+	fmt.Fprintf(&b, "%send FORALL\n", pad(indent))
+	return b.String()
+}
+
+// Pretty renders the assignment.
+func (s *Assign) Pretty(indent int) string {
+	return fmt.Sprintf("%s%s = %s\n", pad(indent), s.LHS.String(), s.RHS.String())
+}
+
+// String renders the whole program in canonical form.
+func (p *Program) String() string {
+	var b strings.Builder
+	if len(p.Params) > 0 {
+		parts := make([]string, len(p.Params))
+		for i, pr := range p.Params {
+			parts[i] = fmt.Sprintf("%s=%d", pr.Name, pr.Value)
+		}
+		fmt.Fprintf(&b, "parameter (%s)\n", strings.Join(parts, ", "))
+	}
+	for _, a := range p.Arrays {
+		dims := make([]string, len(a.Dims))
+		for i, d := range a.Dims {
+			dims[i] = d.String()
+		}
+		fmt.Fprintf(&b, "real %s(%s)\n", a.Name, strings.Join(dims, ","))
+	}
+	if p.Processors != nil {
+		fmt.Fprintf(&b, "!hpf$ processors %s(%s)\n", p.Processors.Name, exprList(p.Processors.Sizes))
+	}
+	if p.Template != nil {
+		fmt.Fprintf(&b, "!hpf$ template %s(%s)\n", p.Template.Name, exprList(p.Template.Sizes))
+	}
+	if p.Distribute != nil {
+		fmt.Fprintf(&b, "!hpf$ distribute %s(%s) on %s\n", p.Distribute.Template,
+			strings.Join(p.Distribute.Schemes, ","), p.Distribute.Procs)
+	}
+	if len(p.OutOfCore) > 0 {
+		fmt.Fprintf(&b, "!hpf$ out_of_core :: %s\n", strings.Join(p.OutOfCore, ", "))
+	}
+	if p.Memory != nil {
+		fmt.Fprintf(&b, "!hpf$ memory (%s)\n", p.Memory.String())
+	}
+	for _, al := range p.Aligns {
+		axes := make([]string, len(al.Pattern))
+		for i, ax := range al.Pattern {
+			if ax == AxisCollapsed {
+				axes[i] = "*"
+			} else {
+				axes[i] = ":"
+			}
+		}
+		fmt.Fprintf(&b, "!hpf$ align (%s) with %s :: %s\n",
+			strings.Join(axes, ","), al.With, strings.Join(al.Arrays, ", "))
+	}
+	for _, st := range p.Body {
+		b.WriteString(st.Pretty(0))
+	}
+	b.WriteString("end\n")
+	return b.String()
+}
+
+// exprList renders comma-separated expressions.
+func exprList(es []Expr) string {
+	parts := make([]string, len(es))
+	for i, e := range es {
+		parts[i] = e.String()
+	}
+	return strings.Join(parts, ",")
+}

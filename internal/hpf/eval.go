@@ -1,0 +1,54 @@
+package hpf
+
+import "fmt"
+
+// Eval evaluates a constant integer expression in an environment mapping
+// parameter/loop-variable names to values.
+func Eval(e Expr, env map[string]int) (int, error) {
+	switch n := e.(type) {
+	case *Num:
+		return n.Value, nil
+	case *Ident:
+		v, ok := env[n.Name]
+		if !ok {
+			return 0, fmt.Errorf("hpf: undefined name %q in constant expression", n.Name)
+		}
+		return v, nil
+	case *BinOp:
+		l, err := Eval(n.L, env)
+		if err != nil {
+			return 0, err
+		}
+		r, err := Eval(n.R, env)
+		if err != nil {
+			return 0, err
+		}
+		switch n.Op {
+		case '+':
+			return l + r, nil
+		case '-':
+			return l - r, nil
+		case '*':
+			return l * r, nil
+		case '/':
+			if r == 0 {
+				return 0, fmt.Errorf("hpf: division by zero in constant expression")
+			}
+			return l / r, nil
+		default:
+			return 0, fmt.Errorf("hpf: unknown operator %q", n.Op)
+		}
+	default:
+		return 0, fmt.Errorf("hpf: %s is not a constant expression", e.String())
+	}
+}
+
+// ParamEnv builds the evaluation environment of a program's PARAMETER
+// constants.
+func ParamEnv(p *Program) map[string]int {
+	env := make(map[string]int, len(p.Params))
+	for _, pr := range p.Params {
+		env[pr.Name] = pr.Value
+	}
+	return env
+}

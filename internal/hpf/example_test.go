@@ -1,0 +1,52 @@
+package hpf_test
+
+import (
+	"fmt"
+
+	"github.com/ooc-hpf/passion/internal/hpf"
+)
+
+// ExampleParse parses a minimal mini-HPF program and inspects the
+// directives and the loop structure.
+func ExampleParse() {
+	prog, err := hpf.Parse(`parameter (n=8, nprocs=2)
+real a(n,n)
+!hpf$ processors pr(nprocs)
+!hpf$ template d(n)
+!hpf$ distribute d(block) on pr
+!hpf$ align (*,:) with d :: a
+do j=1, n
+  FORALL (k=1:n)
+    a(1:n,k) = a(1:n,k) + 1
+  end FORALL
+end do
+end
+`)
+	if err != nil {
+		panic(err)
+	}
+	n, _ := prog.ParamValue("n")
+	fmt.Println("n =", n)
+	fmt.Println("template:", prog.Template.Name, "distributed", prog.Distribute.Scheme())
+	do := prog.Body[0].(*hpf.DoLoop)
+	fa := do.Body[0].(*hpf.Forall)
+	fmt.Printf("loop %s over FORALL %s\n", do.Var, fa.Var)
+	// Output:
+	// n = 8
+	// template: d distributed block
+	// loop j over FORALL k
+}
+
+// ExampleEval folds a constant expression using the program's PARAMETER
+// environment.
+func ExampleEval() {
+	prog, _ := hpf.Parse("parameter (n=64, nprocs=4)\nend\n")
+	env := hpf.ParamEnv(prog)
+	v, err := hpf.Eval(&hpf.BinOp{Op: '/', L: &hpf.Ident{Name: "n"}, R: &hpf.Ident{Name: "nprocs"}}, env)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("n/nprocs =", v)
+	// Output:
+	// n/nprocs = 16
+}

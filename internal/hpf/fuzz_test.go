@@ -1,0 +1,37 @@
+package hpf
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse checks that the frontend never panics on arbitrary input and
+// that any program it accepts round-trips through printing.
+func FuzzParse(f *testing.F) {
+	f.Add(GaxpySource)
+	f.Add(EwiseSource)
+	f.Add("")
+	f.Add("end\n")
+	f.Add("parameter (n=4)\nreal x(n)\nx(1) = n/2\nend\n")
+	f.Add("!hpf$ align (*,:) with d :: a\n")
+	f.Add("do i=1, 4\nx(i,1) = i\nend do\nend\n")
+	f.Add("forall (k=1:4)\nx(1:4,k) = 1\nend forall\n")
+	f.Add("!hpf$ memory (64)\n!hpf$ out_of_core :: a\nend\n")
+	f.Add("x(1:2:3) = 1")
+	f.Add("forall (k=2:7)\nz(1:8,k) = (x(1:8,k-1) + x(1:8,k+1)) / 2\nend forall\nend\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		prog, err := Parse(src)
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		printed := prog.String()
+		re, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("printed program does not reparse: %v\n%s", err, printed)
+		}
+		if again := re.String(); again != printed {
+			t.Fatalf("print/parse not a fixpoint:\n--- first\n%s\n--- second\n%s", printed, again)
+		}
+		_ = strings.TrimSpace(printed)
+	})
+}

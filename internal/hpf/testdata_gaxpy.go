@@ -1,0 +1,39 @@
+package hpf
+
+// GaxpySource is the paper's Figure 3 program — GAXPY matrix
+// multiplication in (mini-)HPF — parameterized by n and the processor
+// count through its PARAMETER statement. It is shared by tests, the
+// compiler and the examples.
+const GaxpySource = `parameter (n=64, nprocs=4)
+real a(n,n), b(n,n), c(n,n), temp(n,n)
+!hpf$ processors pr(nprocs)
+!hpf$ template d(n)
+!hpf$ distribute d(block) on pr
+!hpf$ align (*,:) with d :: a, c, temp
+!hpf$ align (:,*) with d :: b
+do j=1, n
+  FORALL (k=1:n)
+    temp(1:n,k) = b(k,j)*a(1:n,k)
+  end FORALL
+  c(1:n,j) = SUM(temp,2)
+end do
+end
+`
+
+// EwiseSource is an elementwise multi-statement FORALL program used to
+// exercise the compiler's second pattern class: scaled array updates with
+// no communication.
+const EwiseSource = `parameter (n=64, nprocs=4, alpha=3)
+real x(n,n), y(n,n), z(n,n), w(n,n)
+!hpf$ processors pr(nprocs)
+!hpf$ template d(n)
+!hpf$ distribute d(block) on pr
+!hpf$ align (*,:) with d :: x, y, z, w
+FORALL (k=1:n)
+  z(1:n,k) = alpha*x(1:n,k) + y(1:n,k) - 1
+end FORALL
+FORALL (k=1:n)
+  w(1:n,k) = z(1:n,k) * x(1:n,k) / 2
+end FORALL
+end
+`

@@ -1,0 +1,83 @@
+// Package hpf implements the frontend for the mini-HPF dialect used in
+// the paper: Fortran-style declarations (PARAMETER, REAL), the HPF
+// mapping directives (PROCESSORS, TEMPLATE, DISTRIBUTE, ALIGN), DO loops,
+// FORALL constructs, array-section assignments and the SUM intrinsic —
+// exactly the subset exercised by the GAXPY program of Figure 3.
+//
+// The frontend is line-oriented like Fortran: a statement ends at a
+// newline. Identifiers and keywords are case-insensitive and are
+// normalized to lower case.
+package hpf
+
+import "fmt"
+
+// Kind identifies a lexical token class.
+type Kind int
+
+// Token kinds.
+const (
+	EOF Kind = iota
+	NEWLINE
+	IDENT
+	NUMBER
+	LPAREN
+	RPAREN
+	COMMA
+	COLON
+	DCOLON // ::
+	EQUALS
+	PLUS
+	MINUS
+	STAR
+	SLASH
+	DIRECTIVE // the !hpf$ sentinel
+)
+
+// String names the kind for error messages.
+func (k Kind) String() string {
+	switch k {
+	case EOF:
+		return "end of file"
+	case NEWLINE:
+		return "end of line"
+	case IDENT:
+		return "identifier"
+	case NUMBER:
+		return "number"
+	case LPAREN:
+		return "'('"
+	case RPAREN:
+		return "')'"
+	case COMMA:
+		return "','"
+	case COLON:
+		return "':'"
+	case DCOLON:
+		return "'::'"
+	case EQUALS:
+		return "'='"
+	case PLUS:
+		return "'+'"
+	case MINUS:
+		return "'-'"
+	case STAR:
+		return "'*'"
+	case SLASH:
+		return "'/'"
+	case DIRECTIVE:
+		return "'!hpf$'"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Token is one lexical token with its source position (1-based).
+type Token struct {
+	Kind Kind
+	Text string
+	Line int
+	Col  int
+}
+
+// Pos renders the token's position for diagnostics.
+func (t Token) Pos() string { return fmt.Sprintf("%d:%d", t.Line, t.Col) }

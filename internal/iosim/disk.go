@@ -1,0 +1,283 @@
+package iosim
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/ooc-hpf/passion/internal/sim"
+	"github.com/ooc-hpf/passion/internal/trace"
+)
+
+// Disk is one processor's logical disk: a view of the shared I/O subsystem
+// holding that processor's local array files. All cost accounting happens
+// here; the mapping of the logical disk onto physical disks is the
+// machine's business (sim.Config's bandwidth model).
+type Disk struct {
+	fs      FS
+	cfg     sim.Config
+	stats   *trace.IOStats
+	phantom bool
+}
+
+// NewDisk returns a logical disk for one processor. stats may be nil, in
+// which case accounting is skipped.
+func NewDisk(fs FS, cfg sim.Config, stats *trace.IOStats) *Disk {
+	return &Disk{fs: fs, cfg: cfg, stats: stats}
+}
+
+// SetPhantom toggles accounting-only mode: operations count slab
+// transfers, requests, bytes and simulated time exactly as usual but skip
+// the actual movement of file data (buffers are left untouched). It makes
+// paper-scale parameter sweeps cheap; correctness is established by
+// real-mode runs at smaller scales.
+func (d *Disk) SetPhantom(on bool) { d.phantom = on }
+
+// Phantom reports whether accounting-only mode is active.
+func (d *Disk) Phantom() bool { return d.phantom }
+
+// Stats returns the statistics sink, which may be nil.
+func (d *Disk) Stats() *trace.IOStats { return d.stats }
+
+// LAF is a Local Array File: the on-disk image of one processor's
+// out-of-core local array, a flat sequence of float64 elements.
+type LAF struct {
+	disk *Disk
+	file File
+	name string
+	// elems is the file length in elements.
+	elems int64
+}
+
+// CreateLAF creates a local array file holding elems zero elements.
+func (d *Disk) CreateLAF(name string, elems int64) (*LAF, error) {
+	if elems < 0 {
+		return nil, fmt.Errorf("iosim: CreateLAF %s: negative size %d", name, elems)
+	}
+	f, err := d.fs.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	if d.phantom {
+		return &LAF{disk: d, file: f, name: name, elems: elems}, nil
+	}
+	if err := f.Truncate(elems * elemBytes); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &LAF{disk: d, file: f, name: name, elems: elems}, nil
+}
+
+// OpenLAF opens an existing local array file of the given length.
+func (d *Disk) OpenLAF(name string, elems int64) (*LAF, error) {
+	f, err := d.fs.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &LAF{disk: d, file: f, name: name, elems: elems}, nil
+}
+
+// RemoveLAF deletes a local array file by name.
+func (d *Disk) RemoveLAF(name string) error { return d.fs.Remove(name) }
+
+// Name returns the file name.
+func (l *LAF) Name() string { return l.name }
+
+// Quiet returns a view of the same file that performs no statistics
+// accounting (and whose returned durations should be discarded). It is
+// used for initialization and verification I/O, which the paper's
+// measurements exclude.
+func (l *LAF) Quiet() *LAF {
+	quiet := *l.disk
+	quiet.stats = nil
+	return &LAF{disk: &quiet, file: l.file, name: l.name, elems: l.elems}
+}
+
+// Elems returns the file length in elements.
+func (l *LAF) Elems() int64 { return l.elems }
+
+// Close releases the underlying file.
+func (l *LAF) Close() error { return l.file.Close() }
+
+// checkChunks validates that every chunk lies within the file.
+func (l *LAF) checkChunks(chunks []Chunk, buf []float64) error {
+	need := TotalLen(chunks)
+	if need > len(buf) {
+		return fmt.Errorf("iosim: %s: chunks cover %d elements, buffer holds %d", l.name, need, len(buf))
+	}
+	for _, c := range chunks {
+		if c.Off < 0 || c.Len < 0 || c.Off+int64(c.Len) > l.elems {
+			return fmt.Errorf("iosim: %s: chunk [%d,+%d) outside file of %d elements", l.name, c.Off, c.Len, l.elems)
+		}
+	}
+	return nil
+}
+
+// modelBytes converts an element count into cost-model bytes.
+func (l *LAF) modelBytes(elems int) int64 {
+	return int64(elems) * int64(l.disk.cfg.ElemSize)
+}
+
+// ReadChunks reads the given chunks into dst (packed back to back, in
+// chunk order) as one slab fetch. It returns the simulated duration of the
+// operation; the caller decides how to apply it to the processor clock
+// (immediately, or overlapped by a prefetch pipeline).
+func (l *LAF) ReadChunks(chunks []Chunk, dst []float64) (float64, error) {
+	if err := l.checkChunks(chunks, dst); err != nil {
+		return 0, err
+	}
+	pos := 0
+	for _, c := range chunks {
+		if err := l.readRun(c, dst[pos:pos+c.Len]); err != nil {
+			return 0, err
+		}
+		pos += c.Len
+	}
+	elems := TotalLen(chunks)
+	seconds := l.disk.cfg.IOTime(len(chunks), l.modelBytes(elems))
+	if s := l.disk.stats; s != nil {
+		s.SlabReads++
+		s.ReadRequests += int64(len(chunks))
+		s.BytesRead += l.modelBytes(elems)
+		s.Seconds += seconds
+	}
+	return seconds, nil
+}
+
+// ReadChunksSieved reads the single contiguous span covering all chunks in
+// one request (PASSION-style data sieving), then extracts the requested
+// chunks into dst. It trades extra data volume for a single request.
+func (l *LAF) ReadChunksSieved(chunks []Chunk, dst []float64) (float64, error) {
+	if err := l.checkChunks(chunks, dst); err != nil {
+		return 0, err
+	}
+	if len(chunks) == 0 {
+		return 0, nil
+	}
+	span := Span(chunks)
+	if span.Off < 0 || span.Off+int64(span.Len) > l.elems {
+		return 0, fmt.Errorf("iosim: %s: sieve span [%d,+%d) outside file", l.name, span.Off, span.Len)
+	}
+	buf := make([]float64, span.Len)
+	if err := l.readRun(span, buf); err != nil {
+		return 0, err
+	}
+	pos := 0
+	for _, c := range chunks {
+		copy(dst[pos:pos+c.Len], buf[c.Off-span.Off:])
+		pos += c.Len
+	}
+	seconds := l.disk.cfg.IOTime(1, l.modelBytes(span.Len))
+	if s := l.disk.stats; s != nil {
+		s.SlabReads++
+		s.ReadRequests++
+		s.BytesRead += l.modelBytes(span.Len)
+		s.Seconds += seconds
+	}
+	return seconds, nil
+}
+
+// WriteChunksSieved writes the chunks using PASSION-style write data
+// sieving: the covering span is read, the chunks are scattered into it,
+// and the span is written back — a read-modify-write cycle of exactly two
+// requests regardless of how fragmented the chunks are, at the price of
+// moving the whole span twice.
+func (l *LAF) WriteChunksSieved(chunks []Chunk, src []float64) (float64, error) {
+	if err := l.checkChunks(chunks, src); err != nil {
+		return 0, err
+	}
+	if len(chunks) == 0 {
+		return 0, nil
+	}
+	span := Span(chunks)
+	buf := make([]float64, span.Len)
+	if err := l.readRun(span, buf); err != nil {
+		return 0, err
+	}
+	pos := 0
+	for _, c := range chunks {
+		copy(buf[c.Off-span.Off:c.Off-span.Off+int64(c.Len)], src[pos:pos+c.Len])
+		pos += c.Len
+	}
+	if err := l.writeRun(span, buf); err != nil {
+		return 0, err
+	}
+	spanBytes := l.modelBytes(span.Len)
+	seconds := l.disk.cfg.IOTime(2, 2*spanBytes)
+	if s := l.disk.stats; s != nil {
+		s.SlabWrites++
+		s.ReadRequests++
+		s.WriteRequests++
+		s.BytesRead += spanBytes
+		s.BytesWritten += spanBytes
+		s.Seconds += seconds
+	}
+	return seconds, nil
+}
+
+// WriteChunks writes src (packed in chunk order) to the given chunks as
+// one slab store and returns the simulated duration.
+func (l *LAF) WriteChunks(chunks []Chunk, src []float64) (float64, error) {
+	if err := l.checkChunks(chunks, src); err != nil {
+		return 0, err
+	}
+	pos := 0
+	for _, c := range chunks {
+		if err := l.writeRun(c, src[pos:pos+c.Len]); err != nil {
+			return 0, err
+		}
+		pos += c.Len
+	}
+	elems := TotalLen(chunks)
+	seconds := l.disk.cfg.IOTime(len(chunks), l.modelBytes(elems))
+	if s := l.disk.stats; s != nil {
+		s.SlabWrites++
+		s.WriteRequests += int64(len(chunks))
+		s.BytesWritten += l.modelBytes(elems)
+		s.Seconds += seconds
+	}
+	return seconds, nil
+}
+
+// ReadAll reads the whole file into a new slice as a single request. It is
+// a convenience for verification and redistribution.
+func (l *LAF) ReadAll() ([]float64, float64, error) {
+	dst := make([]float64, l.elems)
+	sec, err := l.ReadChunks([]Chunk{{Off: 0, Len: int(l.elems)}}, dst)
+	return dst, sec, err
+}
+
+// WriteAll overwrites the whole file from src as a single request.
+func (l *LAF) WriteAll(src []float64) (float64, error) {
+	if int64(len(src)) != l.elems {
+		return 0, fmt.Errorf("iosim: %s: WriteAll with %d elements into file of %d", l.name, len(src), l.elems)
+	}
+	return l.WriteChunks([]Chunk{{Off: 0, Len: int(l.elems)}}, src)
+}
+
+func (l *LAF) readRun(c Chunk, dst []float64) error {
+	if l.disk.phantom {
+		return nil
+	}
+	buf := make([]byte, c.Len*elemBytes)
+	n, err := l.file.ReadAt(buf, c.Off*elemBytes)
+	if err != nil && !(err == io.EOF && n == len(buf)) {
+		return fmt.Errorf("iosim: read %s @%d: %w", l.name, c.Off, err)
+	}
+	if n != len(buf) {
+		return fmt.Errorf("iosim: short read on %s @%d: %d of %d bytes", l.name, c.Off, n, len(buf))
+	}
+	decode(dst, buf)
+	return nil
+}
+
+func (l *LAF) writeRun(c Chunk, src []float64) error {
+	if l.disk.phantom {
+		return nil
+	}
+	buf := make([]byte, c.Len*elemBytes)
+	encode(buf, src)
+	if _, err := l.file.WriteAt(buf, c.Off*elemBytes); err != nil {
+		return fmt.Errorf("iosim: write %s @%d: %w", l.name, c.Off, err)
+	}
+	return nil
+}

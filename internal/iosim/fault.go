@@ -1,0 +1,105 @@
+package iosim
+
+import (
+	"fmt"
+	"sync"
+)
+
+// FaultFS wraps a file system and injects an error after a configurable
+// number of operations, for failure-injection tests: every Create, Open,
+// Remove, ReadAt, WriteAt and Truncate counts as one operation, and once
+// the budget is exhausted every subsequent operation fails with the
+// configured error.
+type FaultFS struct {
+	inner FS
+	mu    sync.Mutex
+	left  int
+	err   error
+}
+
+// NewFaultFS returns a file system that lets opsBeforeFailure operations
+// succeed and then fails every operation with err.
+func NewFaultFS(inner FS, opsBeforeFailure int, err error) *FaultFS {
+	if err == nil {
+		err = fmt.Errorf("iosim: injected fault")
+	}
+	return &FaultFS{inner: inner, left: opsBeforeFailure, err: err}
+}
+
+// take consumes one operation from the budget.
+func (f *FaultFS) take() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.left <= 0 {
+		return f.err
+	}
+	f.left--
+	return nil
+}
+
+// Remaining returns how many operations are left before failure.
+func (f *FaultFS) Remaining() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.left
+}
+
+// Create makes the named file, or fails if the budget is exhausted.
+func (f *FaultFS) Create(name string) (File, error) {
+	if err := f.take(); err != nil {
+		return nil, err
+	}
+	file, err := f.inner.Create(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{FaultFS: f, inner: file}, nil
+}
+
+// Open opens the named file, or fails if the budget is exhausted.
+func (f *FaultFS) Open(name string) (File, error) {
+	if err := f.take(); err != nil {
+		return nil, err
+	}
+	file, err := f.inner.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	return &faultFile{FaultFS: f, inner: file}, nil
+}
+
+// Remove deletes the named file, or fails if the budget is exhausted.
+func (f *FaultFS) Remove(name string) error {
+	if err := f.take(); err != nil {
+		return err
+	}
+	return f.inner.Remove(name)
+}
+
+type faultFile struct {
+	*FaultFS
+	inner File
+}
+
+func (f *faultFile) ReadAt(p []byte, off int64) (int, error) {
+	if err := f.take(); err != nil {
+		return 0, err
+	}
+	return f.inner.ReadAt(p, off)
+}
+
+func (f *faultFile) WriteAt(p []byte, off int64) (int, error) {
+	if err := f.take(); err != nil {
+		return 0, err
+	}
+	return f.inner.WriteAt(p, off)
+}
+
+func (f *faultFile) Truncate(size int64) error {
+	if err := f.take(); err != nil {
+		return err
+	}
+	return f.inner.Truncate(size)
+}
+
+func (f *faultFile) Close() error { return f.inner.Close() }

@@ -1,0 +1,160 @@
+// Package matrix provides dense column-major (Fortran layout) matrices
+// used as in-core references for verifying the out-of-core computations.
+package matrix
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Matrix is a dense Rows x Cols matrix stored column-major: element (i,j)
+// lives at Data[j*Rows+i]. Indices are 0-based.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// New returns a zero matrix of the given shape.
+func New(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("matrix: negative shape %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 {
+	m.check(i, j)
+	return m.Data[j*m.Rows+i]
+}
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) {
+	m.check(i, j)
+	m.Data[j*m.Rows+i] = v
+}
+
+func (m *Matrix) check(i, j int) {
+	if i < 0 || i >= m.Rows || j < 0 || j >= m.Cols {
+		panic(fmt.Sprintf("matrix: index (%d,%d) outside %dx%d", i, j, m.Rows, m.Cols))
+	}
+}
+
+// Col returns column j as a slice aliasing the matrix storage.
+func (m *Matrix) Col(j int) []float64 {
+	if j < 0 || j >= m.Cols {
+		panic(fmt.Sprintf("matrix: column %d outside %dx%d", j, m.Rows, m.Cols))
+	}
+	return m.Data[j*m.Rows : (j+1)*m.Rows]
+}
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	c := New(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// Fill sets every element to f(i, j).
+func (m *Matrix) Fill(f func(i, j int) float64) *Matrix {
+	for j := 0; j < m.Cols; j++ {
+		for i := 0; i < m.Rows; i++ {
+			m.Data[j*m.Rows+i] = f(i, j)
+		}
+	}
+	return m
+}
+
+// FillRandom fills the matrix with reproducible pseudo-random values in
+// [-1, 1) from the given seed.
+func (m *Matrix) FillRandom(seed int64) *Matrix {
+	rng := rand.New(rand.NewSource(seed))
+	for i := range m.Data {
+		m.Data[i] = 2*rng.Float64() - 1
+	}
+	return m
+}
+
+// Mul returns the product a*b computed with the straightforward
+// triple loop; it is the sequential reference for all GAXPY variants.
+func Mul(a, b *Matrix) *Matrix {
+	if a.Cols != b.Rows {
+		panic(fmt.Sprintf("matrix: cannot multiply %dx%d by %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	c := New(a.Rows, b.Cols)
+	for j := 0; j < b.Cols; j++ {
+		cj := c.Col(j)
+		for k := 0; k < a.Cols; k++ {
+			bkj := b.At(k, j)
+			if bkj == 0 {
+				continue
+			}
+			ak := a.Col(k)
+			for i := range cj {
+				cj[i] += bkj * ak[i]
+			}
+		}
+	}
+	return c
+}
+
+// GaxpyRef computes column j of a*b by the GAXPY recurrence
+// (Equation 1 of the paper): c_j = sum_k b[k,j] * a_k.
+func GaxpyRef(a, b *Matrix, j int) []float64 {
+	if a.Cols != b.Rows {
+		panic("matrix: shape mismatch")
+	}
+	c := make([]float64, a.Rows)
+	for k := 0; k < a.Cols; k++ {
+		bkj := b.At(k, j)
+		ak := a.Col(k)
+		for i := range c {
+			c[i] += bkj * ak[i]
+		}
+	}
+	return c
+}
+
+// MaxAbsDiff returns the largest absolute elementwise difference.
+func MaxAbsDiff(a, b *Matrix) float64 {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		panic(fmt.Sprintf("matrix: shape mismatch %dx%d vs %dx%d", a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+	max := 0.0
+	for i := range a.Data {
+		if d := math.Abs(a.Data[i] - b.Data[i]); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// AlmostEqual reports whether the matrices agree within tol elementwise.
+func AlmostEqual(a, b *Matrix, tol float64) bool {
+	return MaxAbsDiff(a, b) <= tol
+}
+
+// Transpose returns a new matrix that is the transpose of m.
+func (m *Matrix) Transpose() *Matrix {
+	t := New(m.Cols, m.Rows)
+	for j := 0; j < m.Cols; j++ {
+		for i := 0; i < m.Rows; i++ {
+			t.Set(j, i, m.At(i, j))
+		}
+	}
+	return t
+}
+
+// Equal reports exact elementwise equality.
+func Equal(a, b *Matrix) bool {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		return false
+	}
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			return false
+		}
+	}
+	return true
+}

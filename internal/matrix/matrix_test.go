@@ -1,0 +1,150 @@
+package matrix
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAtSetColumnMajor(t *testing.T) {
+	m := New(3, 2)
+	m.Set(1, 0, 5)
+	m.Set(2, 1, 7)
+	if m.Data[1] != 5 {
+		t.Errorf("column-major layout violated: Data=%v", m.Data)
+	}
+	if m.Data[5] != 7 {
+		t.Errorf("column-major layout violated: Data=%v", m.Data)
+	}
+	if m.At(1, 0) != 5 || m.At(2, 1) != 7 {
+		t.Error("At disagrees with Set")
+	}
+}
+
+func TestColAliases(t *testing.T) {
+	m := New(4, 3).Fill(func(i, j int) float64 { return float64(10*j + i) })
+	col := m.Col(2)
+	if len(col) != 4 || col[0] != 20 || col[3] != 23 {
+		t.Fatalf("Col(2) = %v", col)
+	}
+	col[1] = -1
+	if m.At(1, 2) != -1 {
+		t.Error("Col should alias storage")
+	}
+}
+
+func TestMulSmallKnown(t *testing.T) {
+	a := New(2, 2).Fill(func(i, j int) float64 { return float64(i + 2*j + 1) }) // [[1,3],[2,4]]
+	b := New(2, 2).Fill(func(i, j int) float64 { return float64(2*i + j + 1) }) // [[1,2],[3,4]]
+	c := Mul(a, b)
+	// c = [[1*1+3*3, 1*2+3*4],[2*1+4*3, 2*2+4*4]] = [[10,14],[14,20]]
+	want := [][]float64{{10, 14}, {14, 20}}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if c.At(i, j) != want[i][j] {
+				t.Errorf("c(%d,%d) = %g, want %g", i, j, c.At(i, j), want[i][j])
+			}
+		}
+	}
+}
+
+func TestMulIdentity(t *testing.T) {
+	a := New(5, 5).FillRandom(3)
+	id := New(5, 5).Fill(func(i, j int) float64 {
+		if i == j {
+			return 1
+		}
+		return 0
+	})
+	if !Equal(Mul(a, id), a) || !Equal(Mul(id, a), a) {
+		t.Error("multiplication by identity changed the matrix")
+	}
+}
+
+func TestGaxpyMatchesMul(t *testing.T) {
+	a := New(7, 5).FillRandom(1)
+	b := New(5, 6).FillRandom(2)
+	c := Mul(a, b)
+	for j := 0; j < b.Cols; j++ {
+		col := GaxpyRef(a, b, j)
+		for i := range col {
+			if d := col[i] - c.At(i, j); d > 1e-12 || d < -1e-12 {
+				t.Fatalf("GAXPY column %d differs at %d: %g vs %g", j, i, col[i], c.At(i, j))
+			}
+		}
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	f := func(seed int64) bool {
+		m := New(4, 7).FillRandom(seed)
+		return Equal(m.Transpose().Transpose(), m)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTransposeShape(t *testing.T) {
+	m := New(2, 3).Fill(func(i, j int) float64 { return float64(i*3 + j) })
+	tr := m.Transpose()
+	if tr.Rows != 3 || tr.Cols != 2 {
+		t.Fatalf("transpose shape %dx%d", tr.Rows, tr.Cols)
+	}
+	if tr.At(2, 1) != m.At(1, 2) {
+		t.Error("transpose values wrong")
+	}
+}
+
+func TestMaxAbsDiffAndAlmostEqual(t *testing.T) {
+	a := New(2, 2).Fill(func(i, j int) float64 { return 1 })
+	b := a.Clone()
+	b.Set(1, 1, 1.5)
+	if d := MaxAbsDiff(a, b); d != 0.5 {
+		t.Errorf("MaxAbsDiff = %g, want 0.5", d)
+	}
+	if AlmostEqual(a, b, 0.4) {
+		t.Error("AlmostEqual too lenient")
+	}
+	if !AlmostEqual(a, b, 0.6) {
+		t.Error("AlmostEqual too strict")
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	a := New(2, 2).FillRandom(9)
+	b := a.Clone()
+	b.Set(0, 0, 99)
+	if a.At(0, 0) == 99 {
+		t.Error("Clone shares storage")
+	}
+}
+
+func TestFillRandomReproducible(t *testing.T) {
+	a := New(3, 3).FillRandom(42)
+	b := New(3, 3).FillRandom(42)
+	if !Equal(a, b) {
+		t.Error("FillRandom not reproducible")
+	}
+	c := New(3, 3).FillRandom(43)
+	if Equal(a, c) {
+		t.Error("different seeds gave identical matrices")
+	}
+}
+
+func TestPanics(t *testing.T) {
+	expectPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	m := New(2, 3)
+	expectPanic("At out of range", func() { m.At(2, 0) })
+	expectPanic("Set out of range", func() { m.Set(0, 3, 1) })
+	expectPanic("Col out of range", func() { m.Col(-1) })
+	expectPanic("Mul shape mismatch", func() { Mul(New(2, 3), New(2, 3)) })
+	expectPanic("MaxAbsDiff shape mismatch", func() { MaxAbsDiff(New(2, 2), New(3, 3)) })
+	expectPanic("negative shape", func() { New(-1, 2) })
+}

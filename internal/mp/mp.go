@@ -1,0 +1,345 @@
+// Package mp implements the message-passing virtual machine the compiled
+// node programs run on: P processors executing the same node function
+// (SPMD), exchanging real data through typed point-to-point messages and
+// collective operations, while a deterministic simulated clock charges
+// every operation against the machine model in package sim.
+//
+// The collectives are built from point-to-point messages using binomial
+// trees, so their simulated cost emerges from the message cost model the
+// same way it would on a real distributed memory machine.
+package mp
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/ooc-hpf/passion/internal/sim"
+	"github.com/ooc-hpf/passion/internal/trace"
+)
+
+// Tags at or above internalTagBase are reserved for collectives.
+const internalTagBase = 1 << 24
+
+type message struct {
+	tag    int
+	data   []float64
+	atTime float64 // sender clock when the message is fully injected
+}
+
+// Machine is one SPMD execution context: P processors and their mailboxes.
+type Machine struct {
+	cfg   sim.Config
+	chans [][]chan message // chans[src][dst]
+}
+
+// Proc is the per-processor handle passed to the node function. All
+// methods must be called only from that processor's goroutine.
+type Proc struct {
+	m     *Machine
+	rank  int
+	clock sim.Clock
+	stats *trace.ProcStats
+	spans *trace.SpanLog
+}
+
+// NodeFunc is the SPMD node program.
+type NodeFunc func(p *Proc) error
+
+// Run executes the node function on cfg.Procs simulated processors and
+// returns the collected statistics. It propagates the first error returned
+// (or panic raised) by any node.
+func Run(cfg sim.Config, node NodeFunc) (*trace.Stats, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	p := cfg.Procs
+	m := &Machine{cfg: cfg, chans: make([][]chan message, p)}
+	for src := 0; src < p; src++ {
+		m.chans[src] = make([]chan message, p)
+		for dst := 0; dst < p; dst++ {
+			// Generous buffering keeps the deterministic plans
+			// deadlock-free without a progress engine.
+			m.chans[src][dst] = make(chan message, 1024)
+		}
+	}
+	stats := trace.NewStats(p)
+	errs := make([]error, p)
+	var wg sync.WaitGroup
+	for rank := 0; rank < p; rank++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			proc := &Proc{m: m, rank: rank, stats: &stats.Procs[rank]}
+			defer func() {
+				if r := recover(); r != nil {
+					errs[rank] = fmt.Errorf("mp: processor %d panicked: %v", rank, r)
+				}
+				stats.Procs[rank].Seconds = proc.clock.Seconds()
+				// Close this processor's outgoing channels so peers
+				// blocked in Recv observe the termination instead of
+				// deadlocking; already-buffered messages still drain
+				// first.
+				for dst := 0; dst < p; dst++ {
+					close(m.chans[rank][dst])
+				}
+			}()
+			errs[rank] = node(proc)
+		}(rank)
+	}
+	wg.Wait()
+	for rank, err := range errs {
+		if err != nil {
+			return stats, fmt.Errorf("mp: processor %d: %w", rank, err)
+		}
+	}
+	return stats, nil
+}
+
+// Rank returns this processor's id in [0, Size).
+func (p *Proc) Rank() int { return p.rank }
+
+// Size returns the number of processors.
+func (p *Proc) Size() int { return p.m.cfg.Procs }
+
+// Config returns the machine configuration.
+func (p *Proc) Config() sim.Config { return p.m.cfg }
+
+// Clock returns this processor's simulated clock. The I/O layer charges
+// disk time through it.
+func (p *Proc) Clock() *sim.Clock { return &p.clock }
+
+// Stats returns this processor's statistics record.
+func (p *Proc) Stats() *trace.ProcStats { return p.stats }
+
+// SetSpanLog attaches a span log; compute and communication intervals are
+// recorded into it for timeline rendering. A nil log disables recording.
+func (p *Proc) SetSpanLog(l *trace.SpanLog) { p.spans = l }
+
+// SpanLog returns the attached span log (possibly nil).
+func (p *Proc) SpanLog() *trace.SpanLog { return p.spans }
+
+// Compute charges the given number of floating point operations to this
+// processor's clock.
+func (p *Proc) Compute(flops int64) {
+	dt := p.m.cfg.ComputeTime(flops)
+	start := p.clock.Seconds()
+	p.clock.Advance(dt)
+	p.spans.Record(p.rank, "compute", "", start, p.clock.Seconds())
+	p.stats.Flops += flops
+	p.stats.ComputeSeconds += dt
+}
+
+// Send delivers a copy of data to processor dst under the given tag. The
+// sender's clock advances by the full message time (blocking send model).
+func (p *Proc) Send(dst, tag int, data []float64) {
+	if dst < 0 || dst >= p.Size() {
+		panic(fmt.Sprintf("mp: Send to invalid rank %d", dst))
+	}
+	if dst == p.rank {
+		panic("mp: Send to self is not supported; use local data")
+	}
+	bytes := int64(len(data)) * int64(p.m.cfg.ElemSize)
+	dt := p.m.cfg.MsgTime(bytes)
+	start := p.clock.Seconds()
+	p.clock.Advance(dt)
+	p.spans.Record(p.rank, "send", "", start, p.clock.Seconds())
+	p.stats.Comm.MessagesSent++
+	p.stats.Comm.BytesSent += bytes
+	p.stats.Comm.Seconds += dt
+	buf := make([]float64, len(data))
+	copy(buf, data)
+	p.m.chans[p.rank][dst] <- message{tag: tag, data: buf, atTime: p.clock.Seconds()}
+}
+
+// Recv blocks until the next message from src arrives and returns its
+// payload. The message's tag must match; a mismatch indicates a bug in the
+// compiled plan and panics. The receiver's clock advances to the message
+// arrival time if it was ahead of the receiver.
+func (p *Proc) Recv(src, tag int) []float64 {
+	if src < 0 || src >= p.Size() || src == p.rank {
+		panic(fmt.Sprintf("mp: Recv from invalid rank %d", src))
+	}
+	msg, ok := <-p.m.chans[src][p.rank]
+	if !ok {
+		panic(fmt.Sprintf("mp: rank %d terminated before sending the message rank %d expected (tag %d)", src, p.rank, tag))
+	}
+	if msg.tag != tag {
+		panic(fmt.Sprintf("mp: rank %d expected tag %d from %d, got %d", p.rank, tag, src, msg.tag))
+	}
+	before := p.clock.Seconds()
+	p.clock.SyncTo(msg.atTime)
+	p.spans.Record(p.rank, "wait", "", before, p.clock.Seconds())
+	p.stats.Comm.Seconds += p.clock.Seconds() - before
+	return msg.data
+}
+
+// relRank maps rank into the rotated space where root is 0.
+func (p *Proc) relRank(root int) int {
+	return (p.rank - root + p.Size()) % p.Size()
+}
+
+// absRank maps a rotated rank back to an absolute one.
+func (p *Proc) absRank(rel, root int) int {
+	return (rel + root) % p.Size()
+}
+
+// Reduce computes the elementwise sum of data across all processors using
+// a binomial tree rooted at root. On root it returns the full sum; on
+// other processors it returns nil. len(data) must match on all processors.
+func (p *Proc) Reduce(root, tag int, data []float64) []float64 {
+	p.stats.Comm.Collectives++
+	acc := make([]float64, len(data))
+	copy(acc, data)
+	r := p.relRank(root)
+	size := p.Size()
+	for mask := 1; mask < size; mask <<= 1 {
+		if r&mask != 0 {
+			dst := p.absRank(r-mask, root)
+			p.Send(dst, internalTagBase+tag, acc)
+			if r != 0 {
+				return nil
+			}
+		} else if r+mask < size {
+			src := p.absRank(r+mask, root)
+			in := p.Recv(src, internalTagBase+tag)
+			p.addInto(acc, in)
+		}
+	}
+	if r == 0 {
+		return acc
+	}
+	return nil
+}
+
+// addInto accumulates src into dst and charges the additions as compute.
+func (p *Proc) addInto(dst, src []float64) {
+	if len(dst) != len(src) {
+		panic(fmt.Sprintf("mp: reduction length mismatch %d vs %d", len(dst), len(src)))
+	}
+	for i, v := range src {
+		dst[i] += v
+	}
+	p.Compute(int64(len(src)))
+}
+
+// Bcast distributes root's data to every processor using a binomial tree
+// and returns the received copy (on root, data itself).
+func (p *Proc) Bcast(root, tag int, data []float64) []float64 {
+	p.stats.Comm.Collectives++
+	r := p.relRank(root)
+	size := p.Size()
+	// Find the highest mask so receive happens before sends.
+	top := 1
+	for top < size {
+		top <<= 1
+	}
+	received := r == 0
+	for mask := top; mask >= 1; mask >>= 1 {
+		if r&mask != 0 && r&(mask-1) == 0 {
+			// This processor receives at level mask.
+			src := p.absRank(r-mask, root)
+			data = p.Recv(src, internalTagBase+tag)
+			received = true
+		}
+	}
+	if !received {
+		panic("mp: Bcast internal error: no receive scheduled")
+	}
+	// Now forward down the tree: send to r+mask for each mask below the
+	// lowest set bit of r.
+	low := top
+	if r != 0 {
+		low = r & (-r)
+	}
+	for mask := low >> 1; mask >= 1; mask >>= 1 {
+		if r+mask < size {
+			dst := p.absRank(r+mask, root)
+			p.Send(dst, internalTagBase+tag, data)
+		}
+	}
+	return data
+}
+
+// AllReduce computes the elementwise sum across all processors and returns
+// it on every processor (reduce to 0 followed by broadcast).
+func (p *Proc) AllReduce(tag int, data []float64) []float64 {
+	sum := p.Reduce(0, tag, data)
+	if p.rank != 0 {
+		sum = nil
+	}
+	if sum == nil {
+		sum = make([]float64, len(data))
+	}
+	return p.Bcast(0, tag, sum)
+}
+
+// Barrier blocks until every processor has entered it, and synchronizes
+// the simulated clocks to the latest arrival (plus the collective's
+// message costs).
+func (p *Proc) Barrier(tag int) {
+	p.AllReduce(tag, nil)
+}
+
+// Gather collects each processor's data on root, in rank order. On root it
+// returns a slice indexed by rank; elsewhere nil. Contributions may have
+// different lengths.
+func (p *Proc) Gather(root, tag int, data []float64) [][]float64 {
+	p.stats.Comm.Collectives++
+	if p.rank != root {
+		p.Send(root, internalTagBase+tag, data)
+		return nil
+	}
+	out := make([][]float64, p.Size())
+	for r := 0; r < p.Size(); r++ {
+		if r == root {
+			buf := make([]float64, len(data))
+			copy(buf, data)
+			out[r] = buf
+			continue
+		}
+		out[r] = p.Recv(r, internalTagBase+tag)
+	}
+	return out
+}
+
+// Scatter distributes parts (indexed by rank, significant on root only)
+// from root and returns this processor's part.
+func (p *Proc) Scatter(root, tag int, parts [][]float64) []float64 {
+	p.stats.Comm.Collectives++
+	if p.rank == root {
+		for r := 0; r < p.Size(); r++ {
+			if r == root {
+				continue
+			}
+			p.Send(r, internalTagBase+tag, parts[r])
+		}
+		buf := make([]float64, len(parts[root]))
+		copy(buf, parts[root])
+		return buf
+	}
+	return p.Recv(root, internalTagBase+tag)
+}
+
+// AllToAll sends parts[d] to processor d and returns the slice of parts
+// received, indexed by source rank. parts[rank] is kept locally (copied).
+// Used by array redistribution.
+func (p *Proc) AllToAll(tag int, parts [][]float64) [][]float64 {
+	p.stats.Comm.Collectives++
+	size := p.Size()
+	if len(parts) != size {
+		panic(fmt.Sprintf("mp: AllToAll wants %d parts, got %d", size, len(parts)))
+	}
+	out := make([][]float64, size)
+	buf := make([]float64, len(parts[p.rank]))
+	copy(buf, parts[p.rank])
+	out[p.rank] = buf
+	// Rotated schedule: step i sends to rank+i and receives from rank-i,
+	// keeping the pattern contention-free and deadlock-free.
+	for i := 1; i < size; i++ {
+		dst := (p.rank + i) % size
+		src := (p.rank - i + size) % size
+		p.Send(dst, internalTagBase+tag, parts[dst])
+		out[src] = p.Recv(src, internalTagBase+tag)
+	}
+	return out
+}

@@ -1,0 +1,99 @@
+package mp
+
+import "fmt"
+
+// Op is an elementwise reduction operator. Implementations must be
+// associative; commutativity is not required because the binomial tree
+// combines contributions in a fixed rank order.
+type Op interface {
+	// Name labels the operator for diagnostics.
+	Name() string
+	// Combine folds src into dst elementwise.
+	Combine(dst, src []float64)
+}
+
+type sumOp struct{}
+
+func (sumOp) Name() string { return "sum" }
+func (sumOp) Combine(dst, src []float64) {
+	for i, v := range src {
+		dst[i] += v
+	}
+}
+
+type maxOp struct{}
+
+func (maxOp) Name() string { return "max" }
+func (maxOp) Combine(dst, src []float64) {
+	for i, v := range src {
+		if v > dst[i] {
+			dst[i] = v
+		}
+	}
+}
+
+type minOp struct{}
+
+func (minOp) Name() string { return "min" }
+func (minOp) Combine(dst, src []float64) {
+	for i, v := range src {
+		if v < dst[i] {
+			dst[i] = v
+		}
+	}
+}
+
+// Reduction operators.
+var (
+	OpSum Op = sumOp{}
+	OpMax Op = maxOp{}
+	OpMin Op = minOp{}
+)
+
+// ReduceWith performs a binomial-tree reduction with an arbitrary
+// operator, returning the result on root and nil elsewhere. Each combine
+// step is charged as len(data) flops.
+func (p *Proc) ReduceWith(root, tag int, data []float64, op Op) []float64 {
+	p.stats.Comm.Collectives++
+	acc := make([]float64, len(data))
+	copy(acc, data)
+	r := p.relRank(root)
+	size := p.Size()
+	for mask := 1; mask < size; mask <<= 1 {
+		if r&mask != 0 {
+			dst := p.absRank(r-mask, root)
+			p.Send(dst, internalTagBase+tag, acc)
+			if r != 0 {
+				return nil
+			}
+		} else if r+mask < size {
+			src := p.absRank(r+mask, root)
+			in := p.Recv(src, internalTagBase+tag)
+			if len(in) != len(acc) {
+				panic(fmt.Sprintf("mp: %s reduction length mismatch %d vs %d", op.Name(), len(in), len(acc)))
+			}
+			op.Combine(acc, in)
+			p.Compute(int64(len(in)))
+		}
+	}
+	if r == 0 {
+		return acc
+	}
+	return nil
+}
+
+// AllReduceWith is ReduceWith followed by a broadcast of the result.
+func (p *Proc) AllReduceWith(tag int, data []float64, op Op) []float64 {
+	sum := p.ReduceWith(0, tag, data, op)
+	if sum == nil {
+		sum = make([]float64, len(data))
+	}
+	return p.Bcast(0, tag, sum)
+}
+
+// AllReduceMax returns the elementwise maximum across processors — used
+// by the runtime to agree on global loop bounds (e.g. slab counts on
+// ragged distributions).
+func (p *Proc) AllReduceMax(tag int, data []float64) []float64 {
+	return p.AllReduceWith(tag, data, OpMax)
+}

@@ -1,0 +1,386 @@
+// Package oocarray implements the out-of-core array runtime of the paper
+// (the PASSION-style services the compiled node programs call): each
+// processor's Out-of-core Local Array (OCLA) lives in a Local Array File,
+// and computation proceeds over In-Core Local Array (ICLA) slabs that fit
+// in node memory. The package provides slab geometry for strip-mining
+// along either dimension, sectioned reads/writes, optional data sieving,
+// a prefetching slab reader, and redistribution between distributions.
+package oocarray
+
+import (
+	"fmt"
+
+	"github.com/ooc-hpf/passion/internal/dist"
+	"github.com/ooc-hpf/passion/internal/iosim"
+	"github.com/ooc-hpf/passion/internal/matrix"
+	"github.com/ooc-hpf/passion/internal/sim"
+	"github.com/ooc-hpf/passion/internal/trace"
+)
+
+// Dim selects the strip-mining direction of a slab decomposition.
+type Dim int
+
+const (
+	// ByColumn cuts the local array into slabs of whole columns
+	// (Figure 11(I) of the paper).
+	ByColumn Dim = iota
+	// ByRow cuts the local array into slabs of whole rows
+	// (Figure 11(II)).
+	ByRow
+)
+
+// String returns the paper's name for the slab direction.
+func (d Dim) String() string {
+	switch d {
+	case ByColumn:
+		return "column-slab"
+	case ByRow:
+		return "row-slab"
+	default:
+		return fmt.Sprintf("Dim(%d)", int(d))
+	}
+}
+
+// Options configures the runtime behaviour of an out-of-core array.
+type Options struct {
+	// Sieve enables PASSION-style data sieving: a discontiguous slab
+	// transfer is performed as one request covering the whole span,
+	// trading extra data volume for fewer requests.
+	Sieve bool
+	// Prefetch makes SlabReader overlap the fetch of the next slab with
+	// the computation on the current one.
+	Prefetch bool
+	// WriteBehind makes output writes overlap computation through
+	// SlabWriter (one outstanding write).
+	WriteBehind bool
+}
+
+// Array is one processor's out-of-core local array: a column-major
+// rows x cols local section of a distributed global array, stored in a
+// local array file.
+type Array struct {
+	dmap  *dist.Array
+	proc  int
+	rows  int
+	cols  int
+	laf   *iosim.LAF
+	clock *sim.Clock
+	opts  Options
+	spans *trace.SpanLog
+}
+
+// New creates the out-of-core local array of processor proc for the global
+// mapping dmap, backed by a fresh local array file on disk. clock may be
+// nil, in which case no simulated time is charged (statistics still
+// accumulate through the disk). The mapping must be two-dimensional.
+func New(disk *iosim.Disk, dmap *dist.Array, proc int, clock *sim.Clock, opts Options) (*Array, error) {
+	if len(dmap.Dims) != 2 {
+		return nil, fmt.Errorf("oocarray: %s is %d-dimensional; only 2-D arrays are supported", dmap.Name, len(dmap.Dims))
+	}
+	shape := dmap.LocalShape(proc)
+	rows, cols := shape[0], shape[1]
+	name := fmt.Sprintf("%s.p%d.laf", dmap.Name, proc)
+	laf, err := disk.CreateLAF(name, int64(rows)*int64(cols))
+	if err != nil {
+		return nil, err
+	}
+	return &Array{dmap: dmap, proc: proc, rows: rows, cols: cols, laf: laf, clock: clock, opts: opts}, nil
+}
+
+// Close releases the local array file handle (the file itself remains).
+func (a *Array) Close() error { return a.laf.Close() }
+
+// Name returns the global array name.
+func (a *Array) Name() string { return a.dmap.Name }
+
+// Dist returns the global mapping.
+func (a *Array) Dist() *dist.Array { return a.dmap }
+
+// Proc returns the owning processor's rank.
+func (a *Array) Proc() int { return a.proc }
+
+// LocalRows and LocalCols return the local section's shape.
+func (a *Array) LocalRows() int { return a.rows }
+
+// LocalCols returns the number of local columns.
+func (a *Array) LocalCols() int { return a.cols }
+
+// LocalElems returns the number of elements in the local section.
+func (a *Array) LocalElems() int { return a.rows * a.cols }
+
+// Options returns the configured runtime options.
+func (a *Array) Options() Options { return a.opts }
+
+// GlobalIndex translates local indices (li, lj) to global (gi, gj),
+// honoring multi-dimensional processor grids.
+func (a *Array) GlobalIndex(li, lj int) (gi, gj int) {
+	gi = a.dmap.Dims[0].ToGlobal(a.dmap.ProcCoord(a.proc, 0), li)
+	gj = a.dmap.Dims[1].ToGlobal(a.dmap.ProcCoord(a.proc, 1), lj)
+	return gi, gj
+}
+
+// SetSpanLog attaches a span log; I/O intervals are recorded into it for
+// timeline rendering. A nil log disables recording.
+func (a *Array) SetSpanLog(l *trace.SpanLog) { a.spans = l }
+
+// charge applies a simulated duration to the processor clock, if
+// attached, recording the interval under the given span kind.
+func (a *Array) charge(kind string, seconds float64) {
+	if a.clock == nil {
+		return
+	}
+	start := a.clock.Seconds()
+	a.clock.Advance(seconds)
+	a.spans.Record(a.proc, kind, a.Name(), start, a.clock.Seconds())
+}
+
+// ---------------------------------------------------------------------------
+// Slab geometry
+
+// Slabbing describes a strip-mining of the local array: Count slabs of
+// Width columns (ByColumn) or Width rows (ByRow); the final slab may be
+// narrower.
+type Slabbing struct {
+	Dim   Dim
+	Width int
+	Count int
+}
+
+// Slabbing computes the slab decomposition of the local array along dim
+// given a memory budget of memElems elements for this array's ICLA. The
+// width is at least 1 even if a single column/row exceeds the budget.
+func (a *Array) Slabbing(dim Dim, memElems int) Slabbing {
+	extent, other := a.cols, a.rows
+	if dim == ByRow {
+		extent, other = a.rows, a.cols
+	}
+	if extent == 0 || other == 0 {
+		return Slabbing{Dim: dim, Width: 1, Count: 0}
+	}
+	w := memElems / other
+	if w < 1 {
+		w = 1
+	}
+	if w > extent {
+		w = extent
+	}
+	return Slabbing{Dim: dim, Width: w, Count: (extent + w - 1) / w}
+}
+
+// SlabRatio computes the decomposition whose slab is the given fraction of
+// the OCLA (the paper's "slab ratio": ratio 1 means the whole local array
+// in one slab, 1/8 means eight slabs).
+func (a *Array) SlabRatio(dim Dim, ratio float64) Slabbing {
+	if ratio <= 0 || ratio > 1 {
+		panic(fmt.Sprintf("oocarray: slab ratio %g outside (0,1]", ratio))
+	}
+	mem := int(float64(a.LocalElems()) * ratio)
+	return a.Slabbing(dim, mem)
+}
+
+// slabBounds returns the [start, start+size) extent of slab index in the
+// strip-mined dimension.
+func (s Slabbing) slabBounds(index, extent int) (start, size int) {
+	start = index * s.Width
+	size = s.Width
+	if start+size > extent {
+		size = extent - start
+	}
+	return start, size
+}
+
+// ---------------------------------------------------------------------------
+// ICLA
+
+// ICLA is an in-core local array: a column-major section of the local
+// array, positioned at (RowOff, ColOff).
+type ICLA struct {
+	RowOff, ColOff int
+	Rows, Cols     int
+	Data           []float64
+}
+
+// At returns element (i, j) of the section (section-relative indices).
+func (s *ICLA) At(i, j int) float64 { return s.Data[j*s.Rows+i] }
+
+// Set assigns element (i, j) of the section.
+func (s *ICLA) Set(i, j int, v float64) { s.Data[j*s.Rows+i] = v }
+
+// Col returns column j of the section, aliasing its storage.
+func (s *ICLA) Col(j int) []float64 { return s.Data[j*s.Rows : (j+1)*s.Rows] }
+
+// ---------------------------------------------------------------------------
+// Sectioned I/O
+
+// sectionChunks maps a (r0, c0, h, w) section of the column-major local
+// array to file chunks: one chunk per column, or a single chunk when the
+// section spans all rows.
+func (a *Array) sectionChunks(r0, c0, h, w int) ([]iosim.Chunk, error) {
+	if r0 < 0 || c0 < 0 || h < 0 || w < 0 || r0+h > a.rows || c0+w > a.cols {
+		return nil, fmt.Errorf("oocarray: %s.p%d: section (%d,%d)+%dx%d outside local %dx%d",
+			a.Name(), a.proc, r0, c0, h, w, a.rows, a.cols)
+	}
+	if h == 0 || w == 0 {
+		return nil, nil
+	}
+	if h == a.rows {
+		return []iosim.Chunk{{Off: int64(c0) * int64(a.rows), Len: h * w}}, nil
+	}
+	chunks := make([]iosim.Chunk, w)
+	for j := 0; j < w; j++ {
+		chunks[j] = iosim.Chunk{Off: int64(c0+j)*int64(a.rows) + int64(r0), Len: h}
+	}
+	return chunks, nil
+}
+
+// ReadSection fetches the h x w section at (r0, c0) from the local array
+// file, charging the processor clock.
+func (a *Array) ReadSection(r0, c0, h, w int) (*ICLA, error) {
+	icla, sec, err := a.readSectionRaw(r0, c0, h, w)
+	if err != nil {
+		return nil, err
+	}
+	a.charge("io-read", sec)
+	return icla, nil
+}
+
+// readSectionRaw fetches a section and returns the simulated duration
+// without charging the clock (the prefetch pipeline applies it itself).
+func (a *Array) readSectionRaw(r0, c0, h, w int) (*ICLA, float64, error) {
+	chunks, err := a.sectionChunks(r0, c0, h, w)
+	if err != nil {
+		return nil, 0, err
+	}
+	icla := &ICLA{RowOff: r0, ColOff: c0, Rows: h, Cols: w, Data: make([]float64, h*w)}
+	var sec float64
+	if len(chunks) > 0 {
+		if a.opts.Sieve && len(chunks) > 1 {
+			sec, err = a.laf.ReadChunksSieved(chunks, icla.Data)
+		} else {
+			sec, err = a.laf.ReadChunks(chunks, icla.Data)
+		}
+		if err != nil {
+			return nil, 0, err
+		}
+	}
+	return icla, sec, nil
+}
+
+// WriteSection stores the section back to the local array file, charging
+// the processor clock.
+func (a *Array) WriteSection(s *ICLA) error {
+	sec, err := a.writeSectionRaw(s)
+	if err != nil {
+		return err
+	}
+	a.charge("io-write", sec)
+	return nil
+}
+
+// writeSectionRaw stores a section and returns the simulated duration
+// without charging the clock (the write-behind pipeline applies it
+// itself). The data reaches the file immediately; only the simulated
+// completion is deferred. With sieving enabled, discontiguous sections
+// use a read-modify-write cycle over the covering span (two requests).
+func (a *Array) writeSectionRaw(s *ICLA) (float64, error) {
+	chunks, err := a.sectionChunks(s.RowOff, s.ColOff, s.Rows, s.Cols)
+	if err != nil {
+		return 0, err
+	}
+	if len(chunks) == 0 {
+		return 0, nil
+	}
+	if a.opts.Sieve && len(chunks) > 1 {
+		return a.laf.WriteChunksSieved(chunks, s.Data)
+	}
+	return a.laf.WriteChunks(chunks, s.Data)
+}
+
+// ReadSlab fetches slab index of the given decomposition.
+func (a *Array) ReadSlab(s Slabbing, index int) (*ICLA, error) {
+	icla, sec, err := a.readSlabRaw(s, index)
+	if err != nil {
+		return nil, err
+	}
+	a.charge("io-read", sec)
+	return icla, nil
+}
+
+func (a *Array) readSlabRaw(s Slabbing, index int) (*ICLA, float64, error) {
+	if index < 0 || index >= s.Count {
+		return nil, 0, fmt.Errorf("oocarray: slab index %d outside [0,%d)", index, s.Count)
+	}
+	if s.Dim == ByColumn {
+		start, size := s.slabBounds(index, a.cols)
+		return a.readSectionRaw(0, start, a.rows, size)
+	}
+	start, size := s.slabBounds(index, a.rows)
+	return a.readSectionRaw(start, 0, size, a.cols)
+}
+
+// NewSlab allocates a zeroed in-core slab positioned like slab index of
+// the decomposition, for computing results before WriteSection.
+func (a *Array) NewSlab(s Slabbing, index int) (*ICLA, error) {
+	if index < 0 || index >= s.Count {
+		return nil, fmt.Errorf("oocarray: slab index %d outside [0,%d)", index, s.Count)
+	}
+	if s.Dim == ByColumn {
+		start, size := s.slabBounds(index, a.cols)
+		return &ICLA{RowOff: 0, ColOff: start, Rows: a.rows, Cols: size, Data: make([]float64, a.rows*size)}, nil
+	}
+	start, size := s.slabBounds(index, a.rows)
+	return &ICLA{RowOff: start, ColOff: 0, Rows: size, Cols: a.cols, Data: make([]float64, size*a.cols)}, nil
+}
+
+// ---------------------------------------------------------------------------
+// Initialization and verification (unaccounted I/O)
+
+// FillGlobal initializes the local array file with f evaluated at global
+// indices. This models the initial data distribution, whose cost the
+// paper amortizes away; it is therefore not accounted.
+func (a *Array) FillGlobal(f func(gi, gj int) float64) error {
+	if a.rows == 0 || a.cols == 0 {
+		return nil
+	}
+	quiet := a.laf.Quiet()
+	buf := make([]float64, a.rows)
+	for lj := 0; lj < a.cols; lj++ {
+		for li := 0; li < a.rows; li++ {
+			gi, gj := a.GlobalIndex(li, lj)
+			buf[li] = f(gi, gj)
+		}
+		chunk := []iosim.Chunk{{Off: int64(lj) * int64(a.rows), Len: a.rows}}
+		if _, err := quiet.WriteChunks(chunk, buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadLocal returns the whole local section as an in-core matrix without
+// accounting (verification helper).
+func (a *Array) ReadLocal() (*matrix.Matrix, error) {
+	m := matrix.New(a.rows, a.cols)
+	if a.rows*a.cols == 0 {
+		return m, nil
+	}
+	chunk := []iosim.Chunk{{Off: 0, Len: a.rows * a.cols}}
+	if _, err := a.laf.Quiet().ReadChunks(chunk, m.Data); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// WriteLocal overwrites the whole local section from an in-core matrix
+// without accounting (initialization helper).
+func (a *Array) WriteLocal(m *matrix.Matrix) error {
+	if m.Rows != a.rows || m.Cols != a.cols {
+		return fmt.Errorf("oocarray: WriteLocal shape %dx%d into local %dx%d", m.Rows, m.Cols, a.rows, a.cols)
+	}
+	if a.rows*a.cols == 0 {
+		return nil
+	}
+	chunk := []iosim.Chunk{{Off: 0, Len: a.rows * a.cols}}
+	_, err := a.laf.Quiet().WriteChunks(chunk, m.Data)
+	return err
+}

@@ -1,0 +1,66 @@
+package oocarray
+
+// SlabReader iterates over the slabs of a decomposition in order. With
+// Options.Prefetch enabled it overlaps the fetch of slab i+1 with the
+// computation on slab i: the next fetch is issued as soon as a slab is
+// delivered, and its simulated completion time is applied with SyncTo
+// instead of Advance, so I/O time hides behind whatever compute the caller
+// performs between Next calls (single outstanding request model).
+type SlabReader struct {
+	arr          *Array
+	slb          Slabbing
+	next         int
+	pending      *ICLA
+	pendingReady float64
+}
+
+// NewSlabReader returns a reader over the given decomposition.
+func (a *Array) NewSlabReader(s Slabbing) *SlabReader {
+	return &SlabReader{arr: a, slb: s}
+}
+
+// Reset rewinds the reader for another pass over the slabs. A pending
+// prefetched slab is discarded (its cost was never charged).
+func (r *SlabReader) Reset() {
+	r.next = 0
+	r.pending = nil
+	r.pendingReady = 0
+}
+
+// Remaining returns how many slabs have not been delivered yet.
+func (r *SlabReader) Remaining() int { return r.slb.Count - r.next }
+
+// Next delivers the next slab, or ok == false after the last one.
+func (r *SlabReader) Next() (icla *ICLA, ok bool, err error) {
+	if r.next >= r.slb.Count {
+		return nil, false, nil
+	}
+	if r.pending != nil {
+		icla = r.pending
+		r.pending = nil
+		if r.arr.clock != nil {
+			start := r.arr.clock.Seconds()
+			r.arr.clock.SyncTo(r.pendingReady)
+			r.arr.spans.Record(r.arr.proc, "io-wait", r.arr.Name(), start, r.arr.clock.Seconds())
+		}
+	} else {
+		var sec float64
+		icla, sec, err = r.arr.readSlabRaw(r.slb, r.next)
+		if err != nil {
+			return nil, false, err
+		}
+		r.arr.charge("io-read", sec)
+	}
+	r.next++
+	if r.arr.opts.Prefetch && r.next < r.slb.Count {
+		pre, sec, err := r.arr.readSlabRaw(r.slb, r.next)
+		if err != nil {
+			return nil, false, err
+		}
+		r.pending = pre
+		if r.arr.clock != nil {
+			r.pendingReady = r.arr.clock.Seconds() + sec
+		}
+	}
+	return icla, true, nil
+}

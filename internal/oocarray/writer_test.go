@@ -1,0 +1,157 @@
+package oocarray
+
+import (
+	"testing"
+
+	"github.com/ooc-hpf/passion/internal/sim"
+)
+
+func TestSlabWriterDataIntact(t *testing.T) {
+	var clock sim.Clock
+	arr, _ := newTestArray(t, 16, 4, 0, &clock, Options{})
+	s := arr.Slabbing(ByColumn, 32) // 2 columns per slab
+	w := arr.NewSlabWriter()
+	for idx := 0; idx < s.Count; idx++ {
+		icla, err := arr.NewSlab(s, idx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range icla.Data {
+			icla.Data[i] = float64(idx*1000 + i)
+		}
+		if err := w.Write(icla); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.Flush()
+	m, err := arr.ReadLocal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for idx := 0; idx < s.Count; idx++ {
+		for j := 0; j < 2; j++ {
+			for i := 0; i < 16; i++ {
+				want := float64(idx*1000 + j*16 + i)
+				if got := m.At(i, idx*2+j); got != want {
+					t.Fatalf("element (%d,%d): got %g want %g", i, idx*2+j, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestSlabWriterOverlapsWrites(t *testing.T) {
+	// Charging compute between writes, the write-behind pipeline hides
+	// write time behind it; synchronous writes cannot.
+	const n, p = 64, 2
+	cfg := sim.Delta(p)
+	elapsed := func(behind bool) float64 {
+		var clock sim.Clock
+		arr, _ := newTestArray(t, n, p, 0, &clock, Options{})
+		s := arr.Slabbing(ByColumn, n*4)
+		w := arr.NewSlabWriter()
+		for idx := 0; idx < s.Count; idx++ {
+			icla, err := arr.NewSlab(s, idx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Compute comparable to one write's I/O time.
+			clock.Advance(cfg.IOTime(1, int64(n*4*cfg.ElemSize)))
+			if behind {
+				if err := w.Write(icla); err != nil {
+					t.Fatal(err)
+				}
+			} else {
+				if err := arr.WriteSection(icla); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		w.Flush()
+		return clock.Seconds()
+	}
+	sync, async := elapsed(false), elapsed(true)
+	if async >= sync {
+		t.Errorf("write-behind did not help: %g vs %g", async, sync)
+	}
+}
+
+func TestSlabWriterCountsUnchanged(t *testing.T) {
+	arr, stats := newTestArray(t, 16, 4, 1, nil, Options{})
+	s := arr.Slabbing(ByColumn, 16)
+	w := arr.NewSlabWriter()
+	for idx := 0; idx < s.Count; idx++ {
+		icla, err := arr.NewSlab(s, idx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Write(icla); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.Flush()
+	if stats.SlabWrites != int64(s.Count) {
+		t.Errorf("slab writes = %d, want %d", stats.SlabWrites, s.Count)
+	}
+	// Flush twice is harmless.
+	w.Flush()
+}
+
+func TestSlabWriterNilClock(t *testing.T) {
+	arr, _ := newTestArray(t, 8, 2, 0, nil, Options{})
+	w := arr.NewSlabWriter()
+	icla, err := arr.NewSlab(arr.Slabbing(ByColumn, 8), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Write(icla); err != nil {
+		t.Fatal(err)
+	}
+	w.Flush()
+}
+
+func TestSlabWriterBadSection(t *testing.T) {
+	arr, _ := newTestArray(t, 8, 2, 0, nil, Options{})
+	w := arr.NewSlabWriter()
+	bad := &ICLA{RowOff: 0, ColOff: 0, Rows: 99, Cols: 1, Data: make([]float64, 99)}
+	if err := w.Write(bad); err == nil {
+		t.Error("out-of-bounds section should fail")
+	}
+}
+
+func TestSievedSectionWritePreservesNeighbors(t *testing.T) {
+	// A row-slab write with sieving is a read-modify-write over the
+	// span; the columns' other rows must survive.
+	arr, stats := newTestArray(t, 16, 4, 0, nil, Options{Sieve: true})
+	s := arr.Slabbing(ByRow, 4*arr.LocalCols())
+	icla, err := arr.NewSlab(s, 1) // rows 4..7
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range icla.Data {
+		icla.Data[i] = -1
+	}
+	before := stats.WriteRequests
+	if err := arr.WriteSection(icla); err != nil {
+		t.Fatal(err)
+	}
+	if got := stats.WriteRequests - before; got != 1 {
+		t.Errorf("sieved section write used %d write requests, want 1", got)
+	}
+	m, err := arr.ReadLocal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for lj := 0; lj < arr.LocalCols(); lj++ {
+		for li := 0; li < arr.LocalRows(); li++ {
+			gi, gj := arr.GlobalIndex(li, lj)
+			want := valueAt(gi, gj)
+			if li >= 4 && li < 8 {
+				want = -1
+			}
+			if m.At(li, lj) != want {
+				t.Fatalf("(%d,%d): got %g want %g", li, lj, m.At(li, lj), want)
+			}
+		}
+	}
+}

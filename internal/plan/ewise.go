@@ -1,0 +1,76 @@
+package plan
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// EExpr is an elementwise expression over aligned slab buffers: the
+// compiled form of a communication-free FORALL assignment such as
+// z(1:n,k) = 2*x(1:n,k) + y(1:n,k) - 1.
+type EExpr interface {
+	eexpr()
+	// Ops counts arithmetic operations per element.
+	Ops() int
+	String() string
+}
+
+// EConst is a scalar constant.
+type EConst struct{ V float64 }
+
+// EBuf reads the corresponding element of a slab buffer.
+type EBuf struct{ Buf string }
+
+// EBin combines two subexpressions with '+', '-', '*' or '/'.
+type EBin struct {
+	Op   byte
+	L, R EExpr
+}
+
+func (*EConst) eexpr() {}
+func (*EBuf) eexpr()   {}
+func (*EBin) eexpr()   {}
+
+// Ops of a constant is zero.
+func (*EConst) Ops() int { return 0 }
+
+// Ops of a buffer load is zero.
+func (*EBuf) Ops() int { return 0 }
+
+// Ops counts the node and its children.
+func (e *EBin) Ops() int { return 1 + e.L.Ops() + e.R.Ops() }
+
+func (e *EConst) String() string { return strconv.FormatFloat(e.V, 'g', -1, 64) }
+func (e *EBuf) String() string   { return e.Buf + "(:)" }
+func (e *EBin) String() string {
+	return fmt.Sprintf("(%s%c%s)", e.L.String(), e.Op, e.R.String())
+}
+
+// NewSlab allocates a zeroed output buffer positioned like slab Index of
+// Array's decomposition (the output-side counterpart of ReadSlab).
+type NewSlab struct {
+	Array string
+	Index string
+	Buf   string
+}
+
+// Ewise evaluates Expr elementwise into buffer Out. All buffers
+// referenced by Expr must have Out's geometry (they are slabs of aligned
+// arrays at the same slab index).
+type Ewise struct {
+	Out  string
+	Expr EExpr
+}
+
+func (*NewSlab) node() {}
+func (*Ewise) node()   {}
+
+// Pretty renders the output-slab allocation.
+func (n *NewSlab) Pretty(indent int) string {
+	return fmt.Sprintf("%s%s = new_slab(%s, slab=%s)\n", pad(indent), n.Buf, n.Array, n.Index)
+}
+
+// Pretty renders the elementwise statement.
+func (n *Ewise) Pretty(indent int) string {
+	return fmt.Sprintf("%s%s(:) = %s\n", pad(indent), n.Out, n.Expr.String())
+}

@@ -1,0 +1,54 @@
+package plan
+
+import "fmt"
+
+// EBufShift reads the corresponding element of a slab buffer of Array at
+// a column offset of Shift (x(1:n, k+Shift) in the source program). It is
+// the shifted counterpart of EBuf and appears only inside ShiftEwise.
+type EBufShift struct {
+	Array string
+	Shift int
+}
+
+func (*EBufShift) eexpr() {}
+
+// Ops of a shifted buffer load is zero.
+func (*EBufShift) Ops() int { return 0 }
+
+func (e *EBufShift) String() string {
+	switch {
+	case e.Shift > 0:
+		return fmt.Sprintf("%s(:,k+%d)", e.Array, e.Shift)
+	case e.Shift < 0:
+		return fmt.Sprintf("%s(:,k-%d)", e.Array, -e.Shift)
+	default:
+		return e.Array + "(:,k)"
+	}
+}
+
+// ShiftEwise is a complete FORALL statement with shifted column
+// references: for every global column k in [Lo, Hi] (0-based, inclusive),
+// Out(:,k) = Expr evaluated with each EBufShift leaf reading column
+// k+Shift of its array. Columns outside [Lo, Hi] keep their previous
+// contents (HPF FORALL bounds semantics).
+//
+// The node is self-contained: the runtime performs the boundary-column
+// exchange with the neighboring processors (shift communication), then
+// sweeps the local columns in slabs with column halos.
+type ShiftEwise struct {
+	Out    string
+	Lo, Hi int
+	Expr   EExpr
+	// GhostLeft and GhostRight are the halo widths: the number of
+	// columns needed from the left and right neighbors respectively
+	// (GhostLeft = max(0, -minShift), GhostRight = max(0, maxShift)).
+	GhostLeft, GhostRight int
+}
+
+func (*ShiftEwise) node() {}
+
+// Pretty renders the statement.
+func (n *ShiftEwise) Pretty(indent int) string {
+	return fmt.Sprintf("%scall shift_exchange(ghosts: left=%d, right=%d); forall k = %d..%d: %s(:,k) = %s\n",
+		pad(indent), n.GhostLeft, n.GhostRight, n.Lo+1, n.Hi+1, n.Out, n.Expr.String())
+}

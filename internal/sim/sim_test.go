@@ -1,0 +1,157 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeltaValidates(t *testing.T) {
+	for _, p := range []int{1, 4, 16, 32, 64, 512} {
+		if err := Delta(p).Validate(); err != nil {
+			t.Errorf("Delta(%d) invalid: %v", p, err)
+		}
+	}
+	if err := Modern(8).Validate(); err != nil {
+		t.Errorf("Modern(8) invalid: %v", err)
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	base := Delta(4)
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"zero procs", func(c *Config) { c.Procs = 0 }},
+		{"negative procs", func(c *Config) { c.Procs = -1 }},
+		{"zero compute", func(c *Config) { c.ComputeRate = 0 }},
+		{"negative latency", func(c *Config) { c.MsgLatency = -1 }},
+		{"zero msg bw", func(c *Config) { c.MsgBandwidth = 0 }},
+		{"negative overhead", func(c *Config) { c.DiskRequestOverhead = -1 }},
+		{"zero disk bw", func(c *Config) { c.DiskBandwidth = 0 }},
+		{"zero agg bw", func(c *Config) { c.AggregateDiskBandwidth = 0 }},
+		{"scaling above 1", func(c *Config) { c.IOScaling = 1.5 }},
+		{"zero elem size", func(c *Config) { c.ElemSize = 0 }},
+	}
+	for _, tc := range cases {
+		c := base
+		tc.mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("%s: expected validation error", tc.name)
+		}
+	}
+}
+
+func TestEffectiveDiskBandwidthSharing(t *testing.T) {
+	// With IOScaling = 0 the aggregate is fixed, so the per-processor
+	// share must halve when the processor count doubles.
+	c4 := Delta(4)
+	c4.IOScaling = 0
+	c8 := Delta(8)
+	c8.IOScaling = 0
+	b4, b8 := c4.EffectiveDiskBandwidth(), c8.EffectiveDiskBandwidth()
+	if math.Abs(b4/b8-2) > 1e-9 {
+		t.Errorf("per-proc bandwidth should halve: P=4 gives %g, P=8 gives %g", b4, b8)
+	}
+}
+
+func TestEffectiveDiskBandwidthCap(t *testing.T) {
+	c := Delta(1)
+	c.AggregateDiskBandwidth = 1e12 // absurdly fast subsystem
+	if got := c.EffectiveDiskBandwidth(); got != c.DiskBandwidth {
+		t.Errorf("per-disk cap not applied: got %g want %g", got, c.DiskBandwidth)
+	}
+}
+
+func TestIOTimeComposition(t *testing.T) {
+	c := Delta(4)
+	eff := c.EffectiveDiskBandwidth()
+	got := c.IOTime(10, 1<<20)
+	want := 10*c.DiskRequestOverhead + float64(1<<20)/eff
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("IOTime = %g, want %g", got, want)
+	}
+	if c.IOTime(0, 0) != 0 {
+		t.Errorf("IOTime(0,0) should be zero")
+	}
+}
+
+func TestReduceTimeLogSteps(t *testing.T) {
+	// ReduceTime across P processors takes ceil(log2 P) message steps.
+	cases := map[int]int{1: 0, 2: 1, 3: 2, 4: 2, 5: 3, 8: 3, 9: 4, 64: 6}
+	for p, steps := range cases {
+		c := Delta(p)
+		want := float64(steps) * c.MsgTime(4096)
+		if got := c.ReduceTime(4096); math.Abs(got-want) > 1e-12 {
+			t.Errorf("P=%d: ReduceTime = %g, want %g (%d steps)", p, got, want, steps)
+		}
+	}
+}
+
+func TestComputeTime(t *testing.T) {
+	c := Delta(4)
+	if got := c.ComputeTime(int64(c.ComputeRate)); math.Abs(got-1) > 1e-9 {
+		t.Errorf("ComputeTime(rate) = %g, want 1", got)
+	}
+}
+
+func TestClockMonotonic(t *testing.T) {
+	var c Clock
+	c.Advance(1.5)
+	c.Advance(-10) // ignored
+	if c.Seconds() != 1.5 {
+		t.Errorf("clock went backwards: %g", c.Seconds())
+	}
+	c.SyncTo(1.0) // in the past, ignored
+	if c.Seconds() != 1.5 {
+		t.Errorf("SyncTo moved clock backwards: %g", c.Seconds())
+	}
+	c.SyncTo(3.0)
+	if c.Seconds() != 3.0 {
+		t.Errorf("SyncTo failed: %g", c.Seconds())
+	}
+}
+
+func TestClockAdvanceProperty(t *testing.T) {
+	// Property: for any sequence of Advance/SyncTo calls, the clock never
+	// decreases.
+	f := func(deltas []float64) bool {
+		var c Clock
+		prev := 0.0
+		for i, d := range deltas {
+			if i%2 == 0 {
+				c.Advance(d)
+			} else {
+				c.SyncTo(d)
+			}
+			if c.Seconds() < prev || math.IsNaN(c.Seconds()) {
+				return false
+			}
+			prev = c.Seconds()
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 200}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestColumnSlabIOBoundIsFlatInP(t *testing.T) {
+	// The headline effect behind Table 1's column-slab rows: the total
+	// I/O time of an access pattern that moves N^3/P elements per
+	// processor is nearly independent of P, because the aggregate disk
+	// bandwidth is (almost) fixed. Check flatness within a factor 1.7
+	// over 4..64 processors (the paper's spread is ~1.5x).
+	const n = 1024
+	tAt := func(p int) float64 {
+		c := Delta(p)
+		bytes := int64(n) * int64(n) * int64(n) / int64(p) * int64(c.ElemSize)
+		return c.IOTime(0, bytes)
+	}
+	t4, t64 := tAt(4), tAt(64)
+	if r := t4 / t64; r < 1 || r > 1.7 {
+		t.Errorf("column-slab I/O time ratio P=4 / P=64 = %g, want in [1, 1.7]", r)
+	}
+}

@@ -1,0 +1,141 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Span is one interval of simulated time attributed to an activity on one
+// processor.
+type Span struct {
+	Proc  int
+	Kind  string // "compute", "send", "wait", "io-read", "io-write", "io-wait"
+	Label string // e.g. the array name for I/O spans
+	Start float64
+	End   float64
+}
+
+// SpanLog collects spans from all processors of a run. The zero value is
+// not usable; create one with NewSpanLog. A nil *SpanLog is safe to
+// record into (a no-op), so instrumentation can stay unconditional.
+type SpanLog struct {
+	mu    sync.Mutex
+	spans []Span
+}
+
+// NewSpanLog returns an empty log.
+func NewSpanLog() *SpanLog { return &SpanLog{} }
+
+// Record appends a span; zero-length and negative spans are dropped. Safe
+// for concurrent use and for a nil receiver.
+func (l *SpanLog) Record(proc int, kind, label string, start, end float64) {
+	if l == nil || end <= start {
+		return
+	}
+	l.mu.Lock()
+	l.spans = append(l.spans, Span{Proc: proc, Kind: kind, Label: label, Start: start, End: end})
+	l.mu.Unlock()
+}
+
+// Spans returns a copy of the recorded spans, ordered by processor then
+// start time.
+func (l *SpanLog) Spans() []Span {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	out := make([]Span, len(l.spans))
+	copy(out, l.spans)
+	l.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Proc != out[j].Proc {
+			return out[i].Proc < out[j].Proc
+		}
+		return out[i].Start < out[j].Start
+	})
+	return out
+}
+
+// kindGlyphs maps span kinds to their timeline glyphs.
+var kindGlyphs = map[string]rune{
+	"compute":  'C',
+	"send":     's',
+	"wait":     'w',
+	"io-read":  'R',
+	"io-write": 'W',
+	"io-wait":  'o',
+}
+
+// Gantt renders an ASCII timeline: one lane per processor, width columns
+// spanning [0, horizon] where horizon is the latest span end. Later spans
+// overpaint earlier ones within a cell; idle time shows as '.'.
+func (l *SpanLog) Gantt(procs, width int) string {
+	spans := l.Spans()
+	if len(spans) == 0 || width < 10 {
+		return "(no spans recorded)\n"
+	}
+	horizon := 0.0
+	for _, s := range spans {
+		if s.End > horizon {
+			horizon = s.End
+		}
+	}
+	lanes := make([][]rune, procs)
+	for i := range lanes {
+		lanes[i] = []rune(strings.Repeat(".", width))
+	}
+	for _, s := range spans {
+		if s.Proc < 0 || s.Proc >= procs {
+			continue
+		}
+		glyph, ok := kindGlyphs[s.Kind]
+		if !ok {
+			glyph = '?'
+		}
+		lo := int(s.Start / horizon * float64(width))
+		hi := int(s.End / horizon * float64(width))
+		if hi == lo {
+			hi = lo + 1
+		}
+		if hi > width {
+			hi = width
+		}
+		for c := lo; c < hi; c++ {
+			lanes[s.Proc][c] = glyph
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "timeline over %.2f simulated seconds (C compute, R read, W write, o io-wait, s send, w recv-wait, . idle)\n", horizon)
+	for p, lane := range lanes {
+		fmt.Fprintf(&b, "p%-3d |%s|\n", p, string(lane))
+	}
+	return b.String()
+}
+
+// Summary aggregates span time per (kind, label) pair, for text reports.
+func (l *SpanLog) Summary() string {
+	spans := l.Spans()
+	if len(spans) == 0 {
+		return "(no spans recorded)\n"
+	}
+	totals := map[string]float64{}
+	for _, s := range spans {
+		key := s.Kind
+		if s.Label != "" {
+			key += " " + s.Label
+		}
+		totals[key] += s.End - s.Start
+	}
+	keys := make([]string, 0, len(totals))
+	for k := range totals {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%-24s %10.2fs\n", k, totals[k])
+	}
+	return b.String()
+}

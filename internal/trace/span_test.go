@@ -1,0 +1,83 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSpanLogRecordAndOrder(t *testing.T) {
+	l := NewSpanLog()
+	l.Record(1, "compute", "", 2, 3)
+	l.Record(0, "io-read", "a", 0, 1)
+	l.Record(0, "compute", "", 1, 2)
+	l.Record(0, "bogus", "", 5, 5)   // zero length: dropped
+	l.Record(0, "bogus", "", 3, 2.5) // negative: dropped
+	spans := l.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("spans = %d, want 3", len(spans))
+	}
+	if spans[0].Proc != 0 || spans[0].Kind != "io-read" || spans[0].Label != "a" {
+		t.Errorf("first span wrong: %+v", spans[0])
+	}
+	if spans[2].Proc != 1 {
+		t.Errorf("ordering wrong: %+v", spans)
+	}
+}
+
+func TestNilSpanLogSafe(t *testing.T) {
+	var l *SpanLog
+	l.Record(0, "compute", "", 0, 1) // must not panic
+	if l.Spans() != nil {
+		t.Error("nil log should return nil spans")
+	}
+}
+
+func TestGantt(t *testing.T) {
+	l := NewSpanLog()
+	l.Record(0, "io-read", "a", 0, 5)
+	l.Record(0, "compute", "", 5, 10)
+	l.Record(1, "wait", "", 0, 10)
+	out := l.Gantt(2, 20)
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("gantt lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[1], "RRRRRRRRRRCCCCCCCCCC") {
+		t.Errorf("lane 0 wrong: %q", lines[1])
+	}
+	if !strings.Contains(lines[2], strings.Repeat("w", 20)) {
+		t.Errorf("lane 1 wrong: %q", lines[2])
+	}
+	// Unknown kinds render as '?'; out-of-range procs are ignored.
+	l.Record(0, "mystery", "", 0, 10)
+	l.Record(9, "compute", "", 0, 10)
+	out = l.Gantt(2, 20)
+	if !strings.Contains(out, "?") {
+		t.Errorf("unknown kind not rendered:\n%s", out)
+	}
+}
+
+func TestGanttEmpty(t *testing.T) {
+	if out := NewSpanLog().Gantt(2, 40); !strings.Contains(out, "no spans") {
+		t.Errorf("empty gantt = %q", out)
+	}
+	l := NewSpanLog()
+	l.Record(0, "compute", "", 0, 1)
+	if out := l.Gantt(1, 2); !strings.Contains(out, "no spans") {
+		t.Errorf("narrow gantt should refuse: %q", out)
+	}
+}
+
+func TestSummary(t *testing.T) {
+	l := NewSpanLog()
+	l.Record(0, "io-read", "a", 0, 2)
+	l.Record(1, "io-read", "a", 1, 2)
+	l.Record(0, "compute", "", 2, 5)
+	out := l.Summary()
+	if !strings.Contains(out, "io-read a") || !strings.Contains(out, "3.00s") {
+		t.Errorf("summary wrong:\n%s", out)
+	}
+	if !strings.Contains(NewSpanLog().Summary(), "no spans") {
+		t.Error("empty summary wrong")
+	}
+}

@@ -1,0 +1,207 @@
+// Package trace collects the execution statistics the paper uses to
+// analyze out-of-core programs: the number of I/O requests per processor,
+// the volume of data moved per processor, and the simulated time broken
+// down into compute, communication and I/O.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// IOStats counts disk activity for one processor.
+type IOStats struct {
+	// SlabReads and SlabWrites count logical slab transfers — the
+	// "number of I/O requests" metric of Section 4 (T_fetch).
+	SlabReads  int64
+	SlabWrites int64
+
+	// ReadRequests and WriteRequests count physical requests issued to
+	// the disk: one per discontiguous file region touched, so a strided
+	// slab costs more requests than a contiguous one.
+	ReadRequests  int64
+	WriteRequests int64
+
+	// BytesRead and BytesWritten count data volume (T_data, scaled by
+	// element size).
+	BytesRead    int64
+	BytesWritten int64
+
+	// Seconds is simulated time spent in the I/O subsystem.
+	Seconds float64
+}
+
+// Add accumulates other into s.
+func (s *IOStats) Add(other IOStats) {
+	s.SlabReads += other.SlabReads
+	s.SlabWrites += other.SlabWrites
+	s.ReadRequests += other.ReadRequests
+	s.WriteRequests += other.WriteRequests
+	s.BytesRead += other.BytesRead
+	s.BytesWritten += other.BytesWritten
+	s.Seconds += other.Seconds
+}
+
+// Requests returns the total physical request count.
+func (s IOStats) Requests() int64 { return s.ReadRequests + s.WriteRequests }
+
+// Bytes returns the total data volume moved.
+func (s IOStats) Bytes() int64 { return s.BytesRead + s.BytesWritten }
+
+// CommStats counts interprocessor communication for one processor.
+type CommStats struct {
+	MessagesSent int64
+	BytesSent    int64
+	Collectives  int64
+	Seconds      float64
+}
+
+// Add accumulates other into s.
+func (s *CommStats) Add(other CommStats) {
+	s.MessagesSent += other.MessagesSent
+	s.BytesSent += other.BytesSent
+	s.Collectives += other.Collectives
+	s.Seconds += other.Seconds
+}
+
+// ProcStats aggregates all activity of one processor.
+type ProcStats struct {
+	Proc           int
+	IO             IOStats
+	Comm           CommStats
+	Flops          int64
+	ComputeSeconds float64
+	// Seconds is the processor's simulated clock when it finished, i.e.
+	// elapsed wall time including waits at collectives.
+	Seconds float64
+}
+
+// Stats holds per-processor statistics for a whole run.
+type Stats struct {
+	Procs []ProcStats
+}
+
+// NewStats returns a Stats sized for p processors.
+func NewStats(p int) *Stats {
+	s := &Stats{Procs: make([]ProcStats, p)}
+	for i := range s.Procs {
+		s.Procs[i].Proc = i
+	}
+	return s
+}
+
+// ElapsedSeconds returns the simulated job time: the maximum finishing
+// time across processors.
+func (s *Stats) ElapsedSeconds() float64 {
+	max := 0.0
+	for _, p := range s.Procs {
+		if p.Seconds > max {
+			max = p.Seconds
+		}
+	}
+	return max
+}
+
+// TotalIO returns the sum of I/O statistics across processors.
+func (s *Stats) TotalIO() IOStats {
+	var t IOStats
+	for _, p := range s.Procs {
+		t.Add(p.IO)
+	}
+	return t
+}
+
+// TotalComm returns the sum of communication statistics across processors.
+func (s *Stats) TotalComm() CommStats {
+	var t CommStats
+	for _, p := range s.Procs {
+		t.Add(p.Comm)
+	}
+	return t
+}
+
+// MaxIO returns, for each I/O metric, the maximum per-processor value.
+// The paper's per-processor metrics (requests per processor, data per
+// processor) correspond to this view on a load-balanced program.
+func (s *Stats) MaxIO() IOStats {
+	var m IOStats
+	for _, p := range s.Procs {
+		if p.IO.SlabReads > m.SlabReads {
+			m.SlabReads = p.IO.SlabReads
+		}
+		if p.IO.SlabWrites > m.SlabWrites {
+			m.SlabWrites = p.IO.SlabWrites
+		}
+		if p.IO.ReadRequests > m.ReadRequests {
+			m.ReadRequests = p.IO.ReadRequests
+		}
+		if p.IO.WriteRequests > m.WriteRequests {
+			m.WriteRequests = p.IO.WriteRequests
+		}
+		if p.IO.BytesRead > m.BytesRead {
+			m.BytesRead = p.IO.BytesRead
+		}
+		if p.IO.BytesWritten > m.BytesWritten {
+			m.BytesWritten = p.IO.BytesWritten
+		}
+		if p.IO.Seconds > m.Seconds {
+			m.Seconds = p.IO.Seconds
+		}
+	}
+	return m
+}
+
+// String renders a compact human-readable summary.
+func (s *Stats) String() string {
+	var b strings.Builder
+	io := s.TotalIO()
+	comm := s.TotalComm()
+	fmt.Fprintf(&b, "elapsed %.2fs | io: %d slab reads, %d slab writes, %d requests, %s moved, %.2fs | comm: %d msgs, %s, %.2fs",
+		s.ElapsedSeconds(),
+		io.SlabReads, io.SlabWrites, io.Requests(), FormatBytes(io.Bytes()), io.Seconds,
+		comm.MessagesSent, FormatBytes(comm.BytesSent), comm.Seconds)
+	return b.String()
+}
+
+// FormatBytes renders a byte count with a binary unit suffix.
+func FormatBytes(n int64) string {
+	const (
+		kib = 1 << 10
+		mib = 1 << 20
+		gib = 1 << 30
+	)
+	switch {
+	case n >= gib:
+		return fmt.Sprintf("%.2f GiB", float64(n)/gib)
+	case n >= mib:
+		return fmt.Sprintf("%.2f MiB", float64(n)/mib)
+	case n >= kib:
+		return fmt.Sprintf("%.2f KiB", float64(n)/kib)
+	default:
+		return fmt.Sprintf("%d B", n)
+	}
+}
+
+// Snapshot is the JSON-friendly form of a run's statistics.
+type Snapshot struct {
+	ElapsedSeconds float64     `json:"elapsed_seconds"`
+	Procs          []ProcStats `json:"procs"`
+	TotalIO        IOStats     `json:"total_io"`
+	TotalComm      CommStats   `json:"total_comm"`
+}
+
+// Snapshot bundles the stats for serialization.
+func (s *Stats) Snapshot() Snapshot {
+	return Snapshot{
+		ElapsedSeconds: s.ElapsedSeconds(),
+		Procs:          append([]ProcStats(nil), s.Procs...),
+		TotalIO:        s.TotalIO(),
+		TotalComm:      s.TotalComm(),
+	}
+}
+
+// MarshalJSON serializes the aggregate view.
+func (s *Stats) MarshalJSON() ([]byte, error) {
+	return json.Marshal(s.Snapshot())
+}

@@ -1,0 +1,145 @@
+package trace
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestIOStatsAdd(t *testing.T) {
+	a := IOStats{SlabReads: 1, SlabWrites: 2, ReadRequests: 3, WriteRequests: 4, BytesRead: 5, BytesWritten: 6, Seconds: 7}
+	b := IOStats{SlabReads: 10, SlabWrites: 20, ReadRequests: 30, WriteRequests: 40, BytesRead: 50, BytesWritten: 60, Seconds: 70}
+	a.Add(b)
+	want := IOStats{SlabReads: 11, SlabWrites: 22, ReadRequests: 33, WriteRequests: 44, BytesRead: 55, BytesWritten: 66, Seconds: 77}
+	if a != want {
+		t.Errorf("Add: got %+v want %+v", a, want)
+	}
+	if a.Requests() != 77 {
+		t.Errorf("Requests: got %d want 77", a.Requests())
+	}
+	if a.Bytes() != 121 {
+		t.Errorf("Bytes: got %d want 121", a.Bytes())
+	}
+}
+
+func TestCommStatsAdd(t *testing.T) {
+	a := CommStats{MessagesSent: 1, BytesSent: 2, Collectives: 3, Seconds: 4}
+	a.Add(CommStats{MessagesSent: 9, BytesSent: 8, Collectives: 7, Seconds: 6})
+	want := CommStats{MessagesSent: 10, BytesSent: 10, Collectives: 10, Seconds: 10}
+	if a != want {
+		t.Errorf("Add: got %+v want %+v", a, want)
+	}
+}
+
+func TestStatsAggregation(t *testing.T) {
+	s := NewStats(3)
+	for i := range s.Procs {
+		if s.Procs[i].Proc != i {
+			t.Fatalf("proc id %d not set", i)
+		}
+	}
+	s.Procs[0].Seconds = 5
+	s.Procs[1].Seconds = 9
+	s.Procs[2].Seconds = 7
+	if got := s.ElapsedSeconds(); got != 9 {
+		t.Errorf("ElapsedSeconds: got %g want 9", got)
+	}
+	s.Procs[0].IO = IOStats{SlabReads: 4, BytesRead: 100}
+	s.Procs[1].IO = IOStats{SlabReads: 6, BytesRead: 50}
+	s.Procs[2].IO = IOStats{SlabWrites: 2, BytesWritten: 10}
+	tot := s.TotalIO()
+	if tot.SlabReads != 10 || tot.BytesRead != 150 || tot.SlabWrites != 2 || tot.BytesWritten != 10 {
+		t.Errorf("TotalIO wrong: %+v", tot)
+	}
+	max := s.MaxIO()
+	if max.SlabReads != 6 || max.BytesRead != 100 || max.SlabWrites != 2 {
+		t.Errorf("MaxIO wrong: %+v", max)
+	}
+	s.Procs[1].Comm = CommStats{MessagesSent: 3, BytesSent: 12}
+	if s.TotalComm().MessagesSent != 3 {
+		t.Errorf("TotalComm wrong: %+v", s.TotalComm())
+	}
+}
+
+func TestMaxIOIsElementwiseUpperBound(t *testing.T) {
+	f := func(reads, writes []int64) bool {
+		n := len(reads)
+		if len(writes) < n {
+			n = len(writes)
+		}
+		if n == 0 {
+			return true
+		}
+		s := NewStats(n)
+		for i := 0; i < n; i++ {
+			r, w := reads[i], writes[i]
+			if r < 0 {
+				r = -r
+			}
+			if w < 0 {
+				w = -w
+			}
+			s.Procs[i].IO = IOStats{ReadRequests: r, WriteRequests: w}
+		}
+		m := s.MaxIO()
+		for i := 0; i < n; i++ {
+			if s.Procs[i].IO.ReadRequests > m.ReadRequests || s.Procs[i].IO.WriteRequests > m.WriteRequests {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFormatBytes(t *testing.T) {
+	cases := map[int64]string{
+		0:                     "0 B",
+		512:                   "512 B",
+		1024:                  "1.00 KiB",
+		1 << 20:               "1.00 MiB",
+		3 << 30:               "3.00 GiB",
+		1536:                  "1.50 KiB",
+		5 << 20:               "5.00 MiB",
+		7 << 30:               "7.00 GiB",
+		1023:                  "1023 B",
+		(1<<20)*3 + (1 << 19): "3.50 MiB",
+	}
+	for n, want := range cases {
+		if got := FormatBytes(n); got != want {
+			t.Errorf("FormatBytes(%d) = %q, want %q", n, got, want)
+		}
+	}
+}
+
+func TestStatsString(t *testing.T) {
+	s := NewStats(2)
+	s.Procs[0].Seconds = 2.5
+	s.Procs[0].IO = IOStats{SlabReads: 3, ReadRequests: 4, BytesRead: 2048, Seconds: 1}
+	out := s.String()
+	for _, want := range []string{"2.50s", "3 slab reads", "4 requests", "2.00 KiB"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("String() = %q, missing %q", out, want)
+		}
+	}
+}
+
+func TestStatsJSON(t *testing.T) {
+	s := NewStats(2)
+	s.Procs[1].Seconds = 4.5
+	s.Procs[1].IO = IOStats{SlabReads: 3, BytesRead: 1024}
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.ElapsedSeconds != 4.5 || snap.TotalIO.SlabReads != 3 || len(snap.Procs) != 2 {
+		t.Errorf("snapshot wrong: %+v", snap)
+	}
+}

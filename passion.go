@@ -1,0 +1,99 @@
+package passion
+
+// Public facade: the types and entry points a downstream user needs, so
+// the library can be consumed as a single import. The implementation
+// lives in internal/ packages; the aliases below are the supported
+// surface.
+
+import (
+	"github.com/ooc-hpf/passion/internal/compiler"
+	"github.com/ooc-hpf/passion/internal/core"
+	"github.com/ooc-hpf/passion/internal/exec"
+	"github.com/ooc-hpf/passion/internal/experiments"
+	"github.com/ooc-hpf/passion/internal/gaxpy"
+	"github.com/ooc-hpf/passion/internal/hpf"
+	"github.com/ooc-hpf/passion/internal/sim"
+	"github.com/ooc-hpf/passion/internal/trace"
+)
+
+// Core session API.
+type (
+	// Session couples a machine model with a file system and drives
+	// compile-and-run round trips.
+	Session = core.Session
+	// Outcome bundles a compilation and its execution.
+	Outcome = core.Outcome
+	// CompileOptions configures the out-of-core compiler.
+	CompileOptions = compiler.Options
+	// CompileResult is a completed compilation (program, candidates,
+	// cost report).
+	CompileResult = compiler.Result
+	// ExecOptions configures program execution.
+	ExecOptions = exec.Options
+	// ExecResult is a completed execution.
+	ExecResult = exec.Result
+	// MachineConfig is the simulated machine model.
+	MachineConfig = sim.Config
+	// Stats holds per-processor execution statistics.
+	Stats = trace.Stats
+	// SpanLog collects a timeline of compute/communication/I/O spans.
+	SpanLog = trace.SpanLog
+	// ExperimentParams parameterizes the evaluation sweeps.
+	ExperimentParams = experiments.Params
+)
+
+// Memory allocation policies (Section 4.2.1).
+const (
+	PolicyEven     = compiler.PolicyEven
+	PolicyWeighted = compiler.PolicyWeighted
+	PolicySearch   = compiler.PolicySearch
+)
+
+// NewSession returns a session for a Delta-like machine with the given
+// processor count, backed by an in-memory file system.
+func NewSession(procs int) *Session { return core.NewSession(procs) }
+
+// NewDiskSession is NewSession backed by real files under dir.
+func NewDiskSession(procs int, dir string) (*Session, error) {
+	return core.NewDiskSession(procs, dir)
+}
+
+// DeltaMachine returns the Intel Touchstone Delta calibration for the
+// given processor count.
+func DeltaMachine(procs int) MachineConfig { return sim.Delta(procs) }
+
+// ModernMachine returns an NVMe-class node profile.
+func ModernMachine(procs int) MachineConfig { return sim.Modern(procs) }
+
+// CompileSource compiles mini-HPF source text.
+func CompileSource(src string, opts CompileOptions) (*CompileResult, error) {
+	return compiler.CompileSource(src, opts)
+}
+
+// NewSpanLog returns an empty timeline log for ExecOptions.Spans.
+func NewSpanLog() *SpanLog { return trace.NewSpanLog() }
+
+// GaxpySource is the paper's Figure 3 program.
+const GaxpySource = hpf.GaxpySource
+
+// EwiseSource is the built-in elementwise multi-statement program.
+const EwiseSource = hpf.EwiseSource
+
+// GaxpyFillA, GaxpyFillB and GaxpyExpected are the deterministic GAXPY
+// inputs and the closed form of their product, for verified runs.
+var (
+	GaxpyFillA = gaxpy.FillA
+	GaxpyFillB = gaxpy.FillB
+)
+
+// GaxpyExpected returns the closed form of (A*B)(i,j) for the built-in
+// inputs at size n.
+func GaxpyExpected(n int) func(i, j int) float64 { return gaxpy.CExpected(n) }
+
+// ExperimentNames lists the paper's reproducible artifacts.
+var ExperimentNames = core.ExperimentNames
+
+// RunExperiment regenerates a named table or figure; see cmd/ooc-bench.
+func RunExperiment(name string, p ExperimentParams) (text, csv string, err error) {
+	return core.RunExperiment(name, p)
+}

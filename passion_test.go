@@ -1,0 +1,112 @@
+package passion_test
+
+// The public facade exercised exactly as a downstream user would: one
+// import, compile, run, verify.
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	passion "github.com/ooc-hpf/passion"
+)
+
+func TestPublicFacadeRoundTrip(t *testing.T) {
+	s := passion.NewSession(4)
+	out, err := s.CompileAndRun(passion.GaxpySource,
+		passion.CompileOptions{N: 32, MemElems: 300, Policy: passion.PolicySearch},
+		passion.ExecOptions{Fill: map[string]func(int, int) float64{
+			"a": passion.GaxpyFillA,
+			"b": passion.GaxpyFillB,
+		}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Compiled.Program.Strategy != "row-slab" {
+		t.Errorf("strategy = %s", out.Compiled.Program.Strategy)
+	}
+	c, err := out.Array("c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := passion.GaxpyExpected(32)
+	for j := 0; j < 32; j++ {
+		for i := 0; i < 32; i++ {
+			if c.At(i, j) != want(i, j) {
+				t.Fatalf("C(%d,%d) wrong", i, j)
+			}
+		}
+	}
+}
+
+func TestPublicFacadeDiskSession(t *testing.T) {
+	s, err := passion.NewDiskSession(2, t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := s.CompileAndRun(passion.EwiseSource,
+		passion.CompileOptions{N: 16, MemElems: 200},
+		passion.ExecOptions{Fill: map[string]func(int, int) float64{
+			"x": func(i, j int) float64 { return 1 },
+			"y": func(i, j int) float64 { return 2 },
+		}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	z, err := out.Array("z")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if z.At(3, 3) != 3*1+2-1 { // alpha*x + y - 1
+		t.Errorf("z = %g", z.At(3, 3))
+	}
+}
+
+func TestPublicMachinesAndSpans(t *testing.T) {
+	d, m := passion.DeltaMachine(8), passion.ModernMachine(8)
+	if d.ComputeRate >= m.ComputeRate {
+		t.Error("modern machine should be faster")
+	}
+	spans := passion.NewSpanLog()
+	res, err := passion.CompileSource(passion.GaxpySource, passion.CompileOptions{N: 32, MemElems: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := passion.NewSession(4)
+	if _, err := s.Run(res.Program, passion.ExecOptions{Phantom: true, Spans: spans}); err != nil {
+		t.Fatal(err)
+	}
+	if len(spans.Spans()) == 0 {
+		t.Error("no spans recorded through the facade")
+	}
+}
+
+func TestPublicExperimentDispatch(t *testing.T) {
+	text, _, err := passion.RunExperiment("eqcheck",
+		passion.ExperimentParams{N: 64, Procs: []int{4}, Ratios: []int{2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text, "all match: true") {
+		t.Errorf("eqcheck failed through the facade:\n%s", text)
+	}
+	if len(passion.ExperimentNames) < 7 {
+		t.Errorf("experiments = %v", passion.ExperimentNames)
+	}
+}
+
+func ExampleNewSession() {
+	s := passion.NewSession(4)
+	out, err := s.CompileAndRun(passion.GaxpySource,
+		passion.CompileOptions{N: 32, MemElems: 300},
+		passion.ExecOptions{Fill: map[string]func(int, int) float64{
+			"a": passion.GaxpyFillA,
+			"b": passion.GaxpyFillB,
+		}})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("strategy:", out.Compiled.Program.Strategy)
+	// Output:
+	// strategy: row-slab
+}
