@@ -38,6 +38,13 @@ func main() {
 		verify   = flag.Bool("verify", true, "check the result against the closed form")
 		timeline = flag.Bool("timeline", false, "print an ASCII timeline of compute/communication/I/O")
 		asJSON   = flag.Bool("json", false, "print the execution statistics as JSON")
+
+		chaos        = flag.Float64("chaos", 0, "probability of a transient fault per file operation")
+		chaosCorrupt = flag.Float64("chaos-corrupt", 0, "probability of a flipped bit per file read")
+		chaosSeed    = flag.Int64("chaos-seed", 1, "seed of the deterministic fault injection")
+		retries      = flag.Int("retries", -1, "retry budget per I/O operation (-1: default policy when faults are injected)")
+		checkpoint   = flag.Int("checkpoint", 0, "checkpoint every K eligible slab-loop iterations (0: off)")
+		resume       = flag.Bool("resume", false, "resume from the last checkpoint in -datadir instead of starting fresh")
 	)
 	flag.Parse()
 
@@ -67,6 +74,34 @@ func main() {
 			fatal(err)
 		}
 		fs = osfs
+	} else if *resume {
+		fatal(fmt.Errorf("-resume needs -datadir: an in-memory run leaves no checkpoint behind"))
+	}
+
+	var chaosFS *iosim.ChaosFS
+	if *chaos > 0 || *chaosCorrupt > 0 {
+		chaosFS = iosim.NewChaosFS(fs, iosim.ChaosConfig{
+			Seed:       *chaosSeed,
+			PTransient: *chaos,
+			PCorrupt:   *chaosCorrupt,
+		})
+		fs = chaosFS
+	}
+	var resil *iosim.Resilience
+	if *retries >= 0 || chaosFS != nil {
+		policy := iosim.DefaultRetryPolicy()
+		if *retries >= 0 {
+			policy.MaxRetries = *retries
+		}
+		resil = iosim.NewResilience(policy)
+	}
+	var ckpt *exec.CheckpointSpec
+	if *checkpoint > 0 || *resume {
+		every := *checkpoint
+		if every < 1 {
+			every = 1
+		}
+		ckpt = &exec.CheckpointSpec{Every: every}
 	}
 	an := res.Analysis
 	var spans *trace.SpanLog
@@ -78,15 +113,32 @@ func main() {
 		fills[an.A] = gaxpy.FillA
 		fills[an.B] = gaxpy.FillB
 	}
-	out, err := exec.Run(res.Program, sim.Delta(res.Program.Procs), exec.Options{
-		FS:      fs,
-		Phantom: *phantom,
-		Runtime: oocarray.Options{Sieve: *sieve, Prefetch: *prefetch},
-		Fill:    fills,
-		Spans:   spans,
-	})
+	eopts := exec.Options{
+		FS:         fs,
+		Phantom:    *phantom,
+		Runtime:    oocarray.Options{Sieve: *sieve, Prefetch: *prefetch},
+		Fill:       fills,
+		Spans:      spans,
+		Resilience: resil,
+		Checkpoint: ckpt,
+	}
+	runner := exec.Run
+	if *resume {
+		runner = exec.Resume
+	}
+	out, err := runner(res.Program, sim.Delta(res.Program.Procs), eopts)
+	if chaosFS != nil {
+		c := chaosFS.Counts()
+		fmt.Printf("chaos: %d ops, injected %d transient, %d permanent, %d corruptions, %d short reads, %d short writes\n",
+			c.Ops, c.Transient, c.Permanent, c.Corruptions, c.ShortReads, c.ShortWrites)
+	}
 	if err != nil {
 		fatal(err)
+	}
+	if resil != nil {
+		io := out.Stats.TotalIO()
+		fmt.Printf("resilience: %d retries (%.4fs simulated backoff), %d corruptions detected, %d give-ups\n",
+			io.Retries, io.RetrySeconds, io.Corruptions, io.GiveUps)
 	}
 	if spans != nil {
 		fmt.Print(spans.Gantt(res.Program.Procs, 100))

@@ -1,0 +1,416 @@
+package exec
+
+import (
+	"encoding/base64"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+
+	"github.com/ooc-hpf/passion/internal/iosim"
+	"github.com/ooc-hpf/passion/internal/matrix"
+	"github.com/ooc-hpf/passion/internal/oocarray"
+	"github.com/ooc-hpf/passion/internal/plan"
+)
+
+// CheckpointSpec enables checkpoint/restart for an execution: at eligible
+// boundaries each processor snapshots the local files of every mutated
+// array plus the interpreter's cross-boundary state (staging buffers and
+// the global column counter) and an iteration cursor, committing them to
+// a per-processor manifest. A failed or killed run restarts from the last
+// globally consistent checkpoint with exec.Resume.
+//
+// Eligible boundaries are (1) between top-level statements of the program
+// and (2) between iterations of top-level loops containing SumStore; the
+// latter restriction keeps the checkpoint's internal barrier collective-
+// safe, because SumStore's reductions already force globally uniform trip
+// counts there, while purely local loops may run different counts per
+// processor.
+type CheckpointSpec struct {
+	// Every checkpoints each Every-th eligible loop iteration; values
+	// below 1 behave as 1. Statement boundaries always checkpoint.
+	Every int
+	// Prefix names the checkpoint files; empty means "ckpt". Manifests
+	// are written to <prefix>.p<rank>.s<slot>.manifest and array
+	// snapshots to <prefix>.s<slot>.<array>.p<rank>.laf, with two slots
+	// alternating per epoch so a crash mid-checkpoint never destroys the
+	// previous consistent one.
+	Prefix string
+}
+
+func (c *CheckpointSpec) prefix() string {
+	if c.Prefix == "" {
+		return "ckpt"
+	}
+	return c.Prefix
+}
+
+func (c *CheckpointSpec) every() int {
+	if c.Every < 1 {
+		return 1
+	}
+	return c.Every
+}
+
+// ErrNoCheckpoint reports that Resume found no complete checkpoint epoch
+// on any slot; the run must be restarted from scratch.
+var ErrNoCheckpoint = errors.New("exec: no consistent checkpoint found")
+
+// ckptTag is the collective tag of the checkpoint commit barrier.
+const ckptTag = 13
+
+// ckptSlots is the number of alternating on-disk checkpoint generations.
+const ckptSlots = 2
+
+// ckptMagic frames manifest files.
+const ckptMagic = "OOCKPT1\n"
+
+func (c *CheckpointSpec) manifestName(rank, slot int) string {
+	return fmt.Sprintf("%s.p%d.s%d.manifest", c.prefix(), rank, slot)
+}
+
+func (c *CheckpointSpec) snapshotName(array string, rank, slot int) string {
+	return fmt.Sprintf("%s.s%d.%s.p%d.laf", c.prefix(), slot, array, rank)
+}
+
+// ckptICLA serializes one staging buffer. Data is base64 of the raw
+// little-endian float64 bytes, so the round trip is bitwise exact even
+// for values JSON cannot represent.
+type ckptICLA struct {
+	RowOff int    `json:"row_off"`
+	ColOff int    `json:"col_off"`
+	Rows   int    `json:"rows"`
+	Cols   int    `json:"cols"`
+	Data   string `json:"data"`
+}
+
+// ckptManifest is one processor's committed checkpoint record.
+type ckptManifest struct {
+	Epoch   int                  `json:"epoch"`
+	NodeIdx int                  `json:"node_idx"`
+	Iter    int                  `json:"iter"`
+	Counter int                  `json:"counter"`
+	Auto    map[string]bool      `json:"auto,omitempty"`
+	AutoIdx map[string]int       `json:"auto_idx,omitempty"`
+	Staging map[string]*ckptICLA `json:"staging,omitempty"`
+	// Arrays lists the mutated arrays whose snapshots accompany this
+	// manifest.
+	Arrays []string `json:"arrays"`
+}
+
+// floatsToB64 encodes float64s as base64 over little-endian bytes.
+func floatsToB64(v []float64) string {
+	buf := make([]byte, 8*len(v))
+	for i, x := range v {
+		binary.LittleEndian.PutUint64(buf[8*i:], math.Float64bits(x))
+	}
+	return base64.StdEncoding.EncodeToString(buf)
+}
+
+// b64ToFloats inverts floatsToB64.
+func b64ToFloats(s string) ([]float64, error) {
+	buf, err := base64.StdEncoding.DecodeString(s)
+	if err != nil {
+		return nil, err
+	}
+	if len(buf)%8 != 0 {
+		return nil, fmt.Errorf("exec: staging payload of %d bytes is not a float64 sequence", len(buf))
+	}
+	v := make([]float64, len(buf)/8)
+	for i := range v {
+		v[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[8*i:]))
+	}
+	return v, nil
+}
+
+// writeManifest frames and stores one manifest: magic, payload length,
+// payload CRC32, JSON payload. The framing makes torn or corrupted
+// manifests detectable, so Resume simply ignores them and falls back to
+// the other slot.
+func writeManifest(fs iosim.FS, name string, m *ckptManifest) error {
+	payload, err := json.Marshal(m)
+	if err != nil {
+		return fmt.Errorf("exec: encode checkpoint manifest: %w", err)
+	}
+	frame := make([]byte, len(ckptMagic)+8+len(payload))
+	copy(frame, ckptMagic)
+	binary.BigEndian.PutUint32(frame[len(ckptMagic):], uint32(len(payload)))
+	binary.BigEndian.PutUint32(frame[len(ckptMagic)+4:], crc32.ChecksumIEEE(payload))
+	copy(frame[len(ckptMagic)+8:], payload)
+	f, err := fs.Create(name)
+	if err != nil {
+		return fmt.Errorf("exec: create checkpoint manifest %s: %w", name, err)
+	}
+	defer f.Close()
+	if n, err := f.WriteAt(frame, 0); err != nil || n != len(frame) {
+		return fmt.Errorf("exec: write checkpoint manifest %s: %d of %d bytes: %v", name, n, len(frame), err)
+	}
+	return nil
+}
+
+// readManifest loads and validates one manifest; any framing or checksum
+// violation returns an error (the caller treats the slot as absent).
+func readManifest(fs iosim.FS, name string) (*ckptManifest, error) {
+	f, err := fs.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	head := make([]byte, len(ckptMagic)+8)
+	if n, err := f.ReadAt(head, 0); n != len(head) {
+		return nil, fmt.Errorf("exec: manifest %s header: %d of %d bytes: %v", name, n, len(head), err)
+	}
+	if string(head[:len(ckptMagic)]) != ckptMagic {
+		return nil, fmt.Errorf("exec: manifest %s: bad magic", name)
+	}
+	plen := binary.BigEndian.Uint32(head[len(ckptMagic):])
+	want := binary.BigEndian.Uint32(head[len(ckptMagic)+4:])
+	payload := make([]byte, plen)
+	if n, err := f.ReadAt(payload, int64(len(head))); n != len(payload) {
+		return nil, fmt.Errorf("exec: manifest %s payload: %d of %d bytes: %v", name, n, len(payload), err)
+	}
+	if crc32.ChecksumIEEE(payload) != want {
+		return nil, fmt.Errorf("exec: manifest %s: payload checksum mismatch", name)
+	}
+	var m ckptManifest
+	if err := json.Unmarshal(payload, &m); err != nil {
+		return nil, fmt.Errorf("exec: manifest %s: %w", name, err)
+	}
+	return &m, nil
+}
+
+// mutatedArrays returns the names of arrays the program writes, walking
+// the body rather than trusting ArraySpec.Role (elementwise programs mark
+// read-and-written arrays as inputs).
+func mutatedArrays(body []plan.Node) []string {
+	seen := make(map[string]bool)
+	var order []string
+	add := func(name string) {
+		if name != "" && !seen[name] {
+			seen[name] = true
+			order = append(order, name)
+		}
+	}
+	var walk func(nodes []plan.Node)
+	walk = func(nodes []plan.Node) {
+		for _, n := range nodes {
+			switch n := n.(type) {
+			case *plan.Loop:
+				walk(n.Body)
+			case *plan.WriteBuf:
+				add(n.Array)
+			case *plan.SumStore:
+				add(n.Array)
+			case *plan.FlushStage:
+				add(n.Array)
+			case *plan.ShiftEwise:
+				add(n.Out)
+			}
+		}
+	}
+	walk(body)
+	return order
+}
+
+// containsSumStore reports whether the body (recursively) performs a
+// SumStore, whose reductions force globally uniform iteration counts.
+func containsSumStore(body []plan.Node) bool {
+	for _, n := range body {
+		switch n := n.(type) {
+		case *plan.SumStore:
+			return true
+		case *plan.Loop:
+			if containsSumStore(n.Body) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// doCheckpoint commits one checkpoint with cursor (nodeIdx, iter): array
+// snapshots and the manifest go to the slot epoch%2, then a barrier
+// makes the epoch globally committed before anyone can start the next
+// one (so the slots of any two processors never diverge by more than one
+// epoch, and the minimum of the per-processor maxima is always a
+// complete, consistent generation). Checkpoint I/O is unaccounted except
+// for the commit barrier's synchronization.
+func (in *interp) doCheckpoint(nodeIdx, iter int) error {
+	spec := in.ckptSpec
+	slot := in.ckptEpoch % ckptSlots
+	rank := in.proc.Rank()
+	arrays := mutatedArrays(in.prog.Body)
+	for _, name := range arrays {
+		arr, err := in.array(name)
+		if err != nil {
+			return err
+		}
+		m, err := arr.ReadLocal()
+		if err != nil {
+			return fmt.Errorf("exec: checkpoint snapshot of %q: %w", name, err)
+		}
+		disk := iosim.NewResilientDisk(in.fs, in.proc.Config(), nil, in.res)
+		laf, err := disk.CreateLAF(spec.snapshotName(name, rank, slot), int64(len(m.Data)))
+		if err != nil {
+			return fmt.Errorf("exec: checkpoint snapshot of %q: %w", name, err)
+		}
+		_, werr := laf.WriteAll(m.Data)
+		cerr := laf.Close()
+		if werr != nil {
+			return fmt.Errorf("exec: checkpoint snapshot of %q: %w", name, werr)
+		}
+		if cerr != nil {
+			return fmt.Errorf("exec: checkpoint snapshot of %q: %w", name, cerr)
+		}
+	}
+	man := &ckptManifest{
+		Epoch:   in.ckptEpoch,
+		NodeIdx: nodeIdx,
+		Iter:    iter,
+		Counter: in.counter,
+		Arrays:  arrays,
+	}
+	if len(in.auto) > 0 {
+		man.Auto = make(map[string]bool, len(in.auto))
+		for k, v := range in.auto {
+			man.Auto[k] = v
+		}
+	}
+	if len(in.autoIdx) > 0 {
+		man.AutoIdx = make(map[string]int, len(in.autoIdx))
+		for k, v := range in.autoIdx {
+			man.AutoIdx[k] = v
+		}
+	}
+	for name, s := range in.staging {
+		if s == nil {
+			continue
+		}
+		if man.Staging == nil {
+			man.Staging = make(map[string]*ckptICLA)
+		}
+		man.Staging[name] = &ckptICLA{
+			RowOff: s.RowOff, ColOff: s.ColOff,
+			Rows: s.Rows, Cols: s.Cols,
+			Data: floatsToB64(s.Data),
+		}
+	}
+	if err := writeManifest(in.fs, spec.manifestName(rank, slot), man); err != nil {
+		return err
+	}
+	// Commit: every processor has durably written epoch E before any
+	// processor may overwrite the slot holding epoch E-1.
+	in.proc.Barrier(ckptTag)
+	in.ckptEpoch++
+	return nil
+}
+
+// restoreFromManifest rebuilds the interpreter's cross-boundary state and
+// the mutated arrays' local files from a committed checkpoint. It runs
+// after the arrays have been opened (not created) by newInterp.
+func (in *interp) restoreFromManifest(m *ckptManifest) error {
+	spec := in.ckptSpec
+	slot := m.Epoch % ckptSlots
+	rank := in.proc.Rank()
+	for _, name := range m.Arrays {
+		arr, err := in.array(name)
+		if err != nil {
+			return err
+		}
+		disk := iosim.NewResilientDisk(in.fs, in.proc.Config(), nil, in.res)
+		laf, err := disk.OpenLAF(spec.snapshotName(name, rank, slot), int64(arr.LocalElems()))
+		if err != nil {
+			return fmt.Errorf("exec: restore snapshot of %q: %w", name, err)
+		}
+		data, _, rerr := laf.ReadAll()
+		cerr := laf.Close()
+		if rerr != nil {
+			return fmt.Errorf("exec: restore snapshot of %q: %w", name, rerr)
+		}
+		if cerr != nil {
+			return fmt.Errorf("exec: restore snapshot of %q: %w", name, cerr)
+		}
+		mat := matrix.New(arr.LocalRows(), arr.LocalCols())
+		copy(mat.Data, data)
+		if err := arr.WriteLocal(mat); err != nil {
+			return fmt.Errorf("exec: restore snapshot of %q: %w", name, err)
+		}
+	}
+	in.counter = m.Counter
+	for k, v := range m.Auto {
+		in.auto[k] = v
+	}
+	for k, v := range m.AutoIdx {
+		in.autoIdx[k] = v
+	}
+	for name, c := range m.Staging {
+		data, err := b64ToFloats(c.Data)
+		if err != nil {
+			return fmt.Errorf("exec: restore staging of %q: %w", name, err)
+		}
+		if len(data) != c.Rows*c.Cols {
+			return fmt.Errorf("exec: restore staging of %q: %d elements for %dx%d", name, len(data), c.Rows, c.Cols)
+		}
+		in.staging[name] = &oocarray.ICLA{RowOff: c.RowOff, ColOff: c.ColOff, Rows: c.Rows, Cols: c.Cols, Data: data}
+	}
+	in.ckptEpoch = m.Epoch + 1
+	return nil
+}
+
+// loadResumeManifests reads every rank's manifests from both slots and
+// selects the newest globally complete epoch: the minimum over ranks of
+// each rank's maximum valid epoch. The commit barrier guarantees that
+// epoch exists on every rank. Unreadable or corrupted manifests are
+// treated as absent.
+func loadResumeManifests(fs iosim.FS, spec *CheckpointSpec, procs int) ([]*ckptManifest, error) {
+	byRank := make([]map[int]*ckptManifest, procs)
+	epoch := -1
+	for rank := 0; rank < procs; rank++ {
+		byRank[rank] = make(map[int]*ckptManifest, ckptSlots)
+		best := -1
+		for slot := 0; slot < ckptSlots; slot++ {
+			m, err := readManifest(fs, spec.manifestName(rank, slot))
+			if err != nil {
+				continue
+			}
+			byRank[rank][m.Epoch] = m
+			if m.Epoch > best {
+				best = m.Epoch
+			}
+		}
+		if best < 0 {
+			return nil, fmt.Errorf("%w (rank %d has none)", ErrNoCheckpoint, rank)
+		}
+		if epoch < 0 || best < epoch {
+			epoch = best
+		}
+	}
+	out := make([]*ckptManifest, procs)
+	for rank := 0; rank < procs; rank++ {
+		m, ok := byRank[rank][epoch]
+		if !ok {
+			return nil, fmt.Errorf("%w (rank %d lacks epoch %d)", ErrNoCheckpoint, rank, epoch)
+		}
+		out[rank] = m
+	}
+	return out, nil
+}
+
+// removeCheckpointFiles deletes every checkpoint artifact of the program
+// (manifests and snapshots, both slots), ignoring missing files.
+func removeCheckpointFiles(fs iosim.FS, p *plan.Program, spec *CheckpointSpec) {
+	if spec == nil {
+		return
+	}
+	arrays := mutatedArrays(p.Body)
+	for rank := 0; rank < p.Procs; rank++ {
+		for slot := 0; slot < ckptSlots; slot++ {
+			fs.Remove(spec.manifestName(rank, slot))
+			for _, name := range arrays {
+				fs.Remove(spec.snapshotName(name, rank, slot))
+			}
+		}
+	}
+}

@@ -33,6 +33,18 @@ type Options struct {
 	// Spans, when non-nil, collects a timeline of compute, communication
 	// and I/O intervals across all processors (see trace.SpanLog.Gantt).
 	Spans *trace.SpanLog
+	// Resilience, when non-nil, routes all local array file I/O through
+	// the retrying, checksum-verifying disk layer: transient faults are
+	// retried with backoff charged to the simulated clocks, and checksum
+	// mismatches on reads surface as detected (never silent) corruption.
+	// Pass the same Resilience to a later Resume so the checksum store
+	// survives the restart.
+	Resilience *iosim.Resilience
+	// Checkpoint, when non-nil, periodically commits a consistent global
+	// checkpoint a failed run can restart from with Resume. It also
+	// changes the error-path cleanup: the run's files are kept on disk so
+	// the checkpoint stays usable.
+	Checkpoint *CheckpointSpec
 }
 
 // Result is a completed execution.
@@ -47,6 +59,27 @@ type Result struct {
 	fs      iosim.FS
 	mach    sim.Config
 	phantom bool
+	res     *iosim.Resilience
+	ckpt    *CheckpointSpec
+}
+
+// Close removes the run's local array files (and checkpoint artifacts, if
+// any) from the backing store. Call it when the result's file contents
+// are no longer needed; ReadArray stops working afterwards.
+func (r *Result) Close() error {
+	removeRunFiles(r.fs, r.Program)
+	removeCheckpointFiles(r.fs, r.Program, r.ckpt)
+	return nil
+}
+
+// removeRunFiles deletes every local array file the program creates,
+// ignoring missing files (error-path and Close cleanup).
+func removeRunFiles(fs iosim.FS, p *plan.Program) {
+	for _, spec := range p.Arrays {
+		for proc := 0; proc < p.Procs; proc++ {
+			fs.Remove(fmt.Sprintf("%s.p%d.laf", spec.Name, proc))
+		}
+	}
 }
 
 // MaxArrayIO returns, for the named array, the elementwise maximum of the
@@ -68,6 +101,31 @@ const reduceTag = 11
 // Run executes the program on a machine with the program's processor
 // count.
 func Run(p *plan.Program, mach sim.Config, opts Options) (*Result, error) {
+	return run(p, mach, opts, nil)
+}
+
+// Resume restarts a killed or failed checkpointed run from its last
+// globally consistent checkpoint. Options must name the original backing
+// FS and the same CheckpointSpec; pass the original Resilience too so
+// the checksum store carries over. It returns ErrNoCheckpoint (wrapped)
+// when no complete checkpoint epoch exists.
+func Resume(p *plan.Program, mach sim.Config, opts Options) (*Result, error) {
+	if opts.Checkpoint == nil {
+		return nil, fmt.Errorf("exec: Resume requires Options.Checkpoint")
+	}
+	if opts.FS == nil {
+		return nil, fmt.Errorf("exec: Resume requires the original Options.FS")
+	}
+	manifests, err := loadResumeManifests(opts.FS, opts.Checkpoint, p.Procs)
+	if err != nil {
+		return nil, err
+	}
+	return run(p, mach, opts, manifests)
+}
+
+// run executes the program, optionally restarting every processor from
+// its entry in resume (indexed by rank; nil means a fresh run).
+func run(p *plan.Program, mach sim.Config, opts Options, resume []*ckptManifest) (*Result, error) {
 	mach.Procs = p.Procs
 	fs := opts.FS
 	if fs == nil {
@@ -76,13 +134,21 @@ func Run(p *plan.Program, mach sim.Config, opts Options) (*Result, error) {
 	perArray := make([]map[string]*trace.IOStats, mach.Procs)
 	stats, err := mp.Run(mach, func(proc *mp.Proc) error {
 		proc.SetSpanLog(opts.Spans)
-		in, err := newInterp(p, proc, fs, opts)
+		var man *ckptManifest
+		if resume != nil {
+			man = resume[proc.Rank()]
+		}
+		in, err := newInterp(p, proc, fs, opts, man)
 		if err != nil {
 			return err
 		}
 		defer in.close()
 		perArray[proc.Rank()] = in.perArray
-		if err := in.runBody(p.Body); err != nil {
+		startNode, startIter := 0, 0
+		if man != nil {
+			startNode, startIter = man.NodeIdx, man.Iter
+		}
+		if err := in.runTop(p.Body, startNode, startIter); err != nil {
 			return err
 		}
 		// Fold the per-array statistics into the processor total.
@@ -93,9 +159,16 @@ func Run(p *plan.Program, mach sim.Config, opts Options) (*Result, error) {
 		return nil
 	})
 	if err != nil {
+		// Without a checkpoint there is nothing to resume from, so a
+		// failed run must not leave local array files behind; with one,
+		// the files are the restart state and are kept.
+		if opts.Checkpoint == nil {
+			removeRunFiles(fs, p)
+		}
 		return nil, fmt.Errorf("exec: %w", err)
 	}
-	return &Result{Stats: stats, Program: p, PerArray: perArray, fs: fs, mach: mach, phantom: opts.Phantom}, nil
+	return &Result{Stats: stats, Program: p, PerArray: perArray, fs: fs, mach: mach,
+		phantom: opts.Phantom, res: opts.Resilience, ckpt: opts.Checkpoint}, nil
 }
 
 // ReadArray assembles the named array's global contents from the local
@@ -114,7 +187,7 @@ func (r *Result) ReadArray(name string) (*matrix.Matrix, error) {
 	}
 	out := matrix.New(spec.Rows, spec.Cols)
 	for proc := 0; proc < r.Program.Procs; proc++ {
-		disk := iosim.NewDisk(r.fs, r.mach, nil)
+		disk := iosim.NewResilientDisk(r.fs, r.mach, nil, r.res)
 		laf, err := disk.OpenLAF(fmt.Sprintf("%s.p%d.laf", name, proc), int64(dm.LocalElems(proc)))
 		if err != nil {
 			return nil, err
@@ -144,6 +217,13 @@ type interp struct {
 	prog    *plan.Program
 	proc    *mp.Proc
 	phantom bool
+	fs      iosim.FS
+	res     *iosim.Resilience
+
+	// ckptSpec/ckptEpoch drive checkpointing; ckptSpec is nil when
+	// checkpointing is off.
+	ckptSpec  *CheckpointSpec
+	ckptEpoch int
 
 	arrays    map[string]*oocarray.Array
 	slabbings map[string]oocarray.Slabbing
@@ -175,11 +255,14 @@ type interp struct {
 	writers map[string]*oocarray.SlabWriter
 }
 
-func newInterp(p *plan.Program, proc *mp.Proc, fs iosim.FS, opts Options) (*interp, error) {
+func newInterp(p *plan.Program, proc *mp.Proc, fs iosim.FS, opts Options, resume *ckptManifest) (*interp, error) {
 	in := &interp{
 		prog:       p,
 		proc:       proc,
 		phantom:    opts.Phantom,
+		fs:         fs,
+		res:        opts.Resilience,
+		ckptSpec:   opts.Checkpoint,
 		arrays:     make(map[string]*oocarray.Array),
 		slabbings:  make(map[string]oocarray.Slabbing),
 		vars:       make(map[string]int),
@@ -199,9 +282,17 @@ func newInterp(p *plan.Program, proc *mp.Proc, fs iosim.FS, opts Options) (*inte
 		}
 		arrStats := &trace.IOStats{}
 		in.perArray[spec.Name] = arrStats
-		disk := iosim.NewDisk(fs, proc.Config(), arrStats)
+		disk := iosim.NewResilientDisk(fs, proc.Config(), arrStats, opts.Resilience)
 		disk.SetPhantom(opts.Phantom)
-		arr, err := oocarray.New(disk, dm, proc.Rank(), proc.Clock(), opts.Runtime)
+		var arr *oocarray.Array
+		if resume != nil {
+			// Resuming: the local array files already exist; attach to
+			// them without truncation (their contents are rebuilt from
+			// the checkpoint snapshots below).
+			arr, err = oocarray.Open(disk, dm, proc.Rank(), proc.Clock(), opts.Runtime)
+		} else {
+			arr, err = oocarray.New(disk, dm, proc.Rank(), proc.Clock(), opts.Runtime)
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -214,12 +305,17 @@ func newInterp(p *plan.Program, proc *mp.Proc, fs iosim.FS, opts Options) (*inte
 			}
 			in.writers[spec.Name] = arr.NewSlabWriter()
 		}
-		if spec.Role == plan.In && !opts.Phantom {
+		if spec.Role == plan.In && !opts.Phantom && resume == nil {
 			if fill, ok := opts.Fill[spec.Name]; ok {
 				if err := arr.FillGlobal(fill); err != nil {
 					return nil, err
 				}
 			}
+		}
+	}
+	if resume != nil {
+		if err := in.restoreFromManifest(resume); err != nil {
+			return nil, err
 		}
 	}
 	return in, nil
@@ -232,6 +328,58 @@ func (in *interp) close() {
 	for _, a := range in.arrays {
 		a.Close()
 	}
+}
+
+// runTop executes the program's top-level body from the cursor
+// (startNode, startIter), committing checkpoints at eligible boundaries
+// when checkpointing is on. startIter only applies to the loop at
+// startNode (per-iteration cursors are recorded only for SumStore loops).
+func (in *interp) runTop(body []plan.Node, startNode, startIter int) error {
+	for i := startNode; i < len(body); i++ {
+		loop, isLoop := body[i].(*plan.Loop)
+		first := 0
+		if i == startNode {
+			first = startIter
+		}
+		if isLoop && in.ckptSpec != nil && containsSumStore(loop.Body) {
+			// Iterate here instead of in run() so a checkpoint with
+			// cursor (i, v) can be committed between iterations. The
+			// SumStore restriction makes the trip count globally
+			// uniform, so the checkpoint barrier is collective-safe.
+			count, err := in.count(loop.Count)
+			if err != nil {
+				return err
+			}
+			every := in.ckptSpec.every()
+			for v := first; v < count; v++ {
+				if v != first && v%every == 0 {
+					if err := in.doCheckpoint(i, v); err != nil {
+						return err
+					}
+				}
+				in.vars[loop.Var] = v
+				if err := in.runBody(loop.Body); err != nil {
+					return err
+				}
+			}
+			delete(in.vars, loop.Var)
+		} else if isLoop && first > 0 {
+			// Resuming into a loop checkpointed only at its boundary
+			// cannot happen (per-iteration cursors are only recorded for
+			// SumStore loops), but guard against a foreign manifest.
+			return fmt.Errorf("exec: checkpoint cursor (%d,%d) points into a non-resumable loop", i, first)
+		} else {
+			if err := in.run(body[i]); err != nil {
+				return err
+			}
+		}
+		if in.ckptSpec != nil && i+1 < len(body) {
+			if err := in.doCheckpoint(i+1, 0); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
 }
 
 func (in *interp) runBody(body []plan.Node) error {

@@ -1,0 +1,189 @@
+package iosim
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// chaosOpSequence runs a fixed operation sequence against a ChaosFS and
+// returns the injected-fault counts plus the final read-back (nil when a
+// permanent fault aborted the sequence).
+func chaosOpSequence(t *testing.T, cfg ChaosConfig) (ChaosCounts, []byte) {
+	t.Helper()
+	fs := NewChaosFS(NewMemFS(), cfg)
+	var final []byte
+	f, err := fs.Create("x.laf")
+	if err == nil {
+		payload := make([]byte, 256)
+		for i := range payload {
+			payload[i] = byte(i)
+		}
+		for k := 0; k < 8; k++ {
+			f.WriteAt(payload, int64(k)*256)
+		}
+		buf := make([]byte, 256)
+		for k := 0; k < 8; k++ {
+			if n, err := f.ReadAt(buf, int64(k)*256); err == nil && n == len(buf) {
+				final = append([]byte(nil), buf...)
+			}
+		}
+		f.Close()
+	}
+	return fs.Counts(), final
+}
+
+func TestChaosDeterministicUnderSeed(t *testing.T) {
+	cfg := ChaosConfig{Seed: 42, PTransient: 0.2, PCorrupt: 0.1, PShortRead: 0.1, PShortWrite: 0.1}
+	c1, b1 := chaosOpSequence(t, cfg)
+	c2, b2 := chaosOpSequence(t, cfg)
+	if c1 != c2 {
+		t.Fatalf("same seed, different fault counts: %+v vs %+v", c1, c2)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatalf("same seed, different data effects")
+	}
+	c3, _ := chaosOpSequence(t, ChaosConfig{Seed: 43, PTransient: 0.2, PCorrupt: 0.1, PShortRead: 0.1, PShortWrite: 0.1})
+	if c1 == c3 {
+		t.Fatalf("different seeds produced identical fault counts %+v (suspicious)", c1)
+	}
+}
+
+func TestChaosScheduledPermanentFault(t *testing.T) {
+	fs := NewChaosFS(NewMemFS(), ChaosConfig{
+		Schedule: []ScheduledFault{{File: "x", Op: 1, Kind: KindPermanent}},
+	})
+	f, err := fs.Create("x") // op 0
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = f.WriteAt([]byte{1, 2, 3}, 0) // op 1: scheduled fault
+	if err == nil {
+		t.Fatal("scheduled permanent fault did not fire")
+	}
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("permanent fault should wrap ErrInjected, got %v", err)
+	}
+	if IsTransient(err) {
+		t.Fatalf("permanent fault classified transient: %v", err)
+	}
+	if _, err := f.WriteAt([]byte{1, 2, 3}, 0); err != nil { // op 2: clean
+		t.Fatalf("op after the scheduled fault should succeed, got %v", err)
+	}
+	if c := fs.Counts(); c.Permanent != 1 || c.Ops != 3 {
+		t.Fatalf("counts = %+v, want 1 permanent of 3 ops", c)
+	}
+}
+
+func TestChaosScheduledTransientFault(t *testing.T) {
+	fs := NewChaosFS(NewMemFS(), ChaosConfig{
+		Schedule: []ScheduledFault{{Op: 1, Kind: KindTransient}},
+	})
+	f, err := fs.Create("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = f.ReadAt(make([]byte, 4), 0)
+	if err == nil || !IsTransient(err) {
+		t.Fatalf("want transient error, got %v", err)
+	}
+}
+
+func TestChaosShortReadAndWriteAreTransient(t *testing.T) {
+	fs := NewChaosFS(NewMemFS(), ChaosConfig{
+		Schedule: []ScheduledFault{
+			{File: "x", Op: 1, Kind: KindShortWrite},
+			{File: "x", Op: 3, Kind: KindShortRead},
+		},
+	})
+	f, err := fs.Create("x") // op 0
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte{1, 2, 3, 4, 5, 6, 7, 8}
+	n, err := f.WriteAt(payload, 0) // op 1: torn write
+	if err == nil || !IsTransient(err) {
+		t.Fatalf("torn write should return a transient error, got %v", err)
+	}
+	if n != len(payload)/2 {
+		t.Fatalf("torn write reported %d bytes, want %d", n, len(payload)/2)
+	}
+	if _, err := f.WriteAt(payload, 0); err != nil { // op 2: retry succeeds
+		t.Fatal(err)
+	}
+	buf := make([]byte, 8)
+	n, err = f.ReadAt(buf, 0) // op 3: short read
+	if err == nil || !IsTransient(err) {
+		t.Fatalf("short read should return a transient error, got %v", err)
+	}
+	if n != len(buf)/2 {
+		t.Fatalf("short read delivered %d bytes, want %d", n, len(buf)/2)
+	}
+	if _, err := f.ReadAt(buf, 0); err != nil { // op 4: retry succeeds
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, payload) {
+		t.Fatalf("after retries, read %v want %v", buf, payload)
+	}
+}
+
+func TestChaosCorruptionFlipsExactlyOneBit(t *testing.T) {
+	fs := NewChaosFS(NewMemFS(), ChaosConfig{
+		Seed:     7,
+		Schedule: []ScheduledFault{{File: "x", Op: 2, Kind: KindCorrupt}},
+	})
+	f, err := fs.Create("x") // op 0
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := make([]byte, 64)
+	for i := range payload {
+		payload[i] = byte(i * 3)
+	}
+	if _, err := f.WriteAt(payload, 0); err != nil { // op 1
+		t.Fatal(err)
+	}
+	buf := make([]byte, 64)
+	if _, err := f.ReadAt(buf, 0); err != nil { // op 2: corrupted, silently
+		t.Fatal(err)
+	}
+	diffBits := 0
+	for i := range buf {
+		x := buf[i] ^ payload[i]
+		for ; x != 0; x &= x - 1 {
+			diffBits++
+		}
+	}
+	if diffBits != 1 {
+		t.Fatalf("corruption flipped %d bits, want exactly 1", diffBits)
+	}
+	if _, err := f.ReadAt(buf, 0); err != nil { // op 3: clean again
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, payload) {
+		t.Fatalf("file content itself was altered; corruption should be read-path only")
+	}
+}
+
+func TestIsTransientClassification(t *testing.T) {
+	if IsTransient(nil) {
+		t.Fatal("nil must not be transient")
+	}
+	if IsTransient(errors.New("plain")) {
+		t.Fatal("plain errors must not be transient")
+	}
+	if !IsTransient(MarkTransient(errors.New("hiccup"))) {
+		t.Fatal("MarkTransient must classify transient")
+	}
+	if !IsTransient(&CorruptionError{File: "x", Block: 0}) {
+		t.Fatal("read-path corruption must be transient (re-read may repair)")
+	}
+	ex := &ExhaustedError{Op: "read", File: "x", Attempts: 3, Last: MarkTransient(errors.New("hiccup"))}
+	if IsTransient(ex) {
+		t.Fatal("an exhausted retry budget is permanent even over a transient cause")
+	}
+	var target *ExhaustedError
+	if !errors.As(error(ex), &target) {
+		t.Fatal("errors.As must find ExhaustedError")
+	}
+}

@@ -2,6 +2,7 @@ package iosim
 
 import (
 	"fmt"
+	"hash/crc32"
 	"io"
 
 	"github.com/ooc-hpf/passion/internal/sim"
@@ -16,6 +17,7 @@ type Disk struct {
 	fs      FS
 	cfg     sim.Config
 	stats   *trace.IOStats
+	res     *Resilience
 	phantom bool
 }
 
@@ -23,6 +25,46 @@ type Disk struct {
 // which case accounting is skipped.
 func NewDisk(fs FS, cfg sim.Config, stats *trace.IOStats) *Disk {
 	return &Disk{fs: fs, cfg: cfg, stats: stats}
+}
+
+// NewResilientDisk returns a logical disk whose transfers retry transient
+// faults with capped exponential backoff (charged to the simulated clock
+// through the returned durations) and verify block checksums on reads.
+// res may be nil, which degrades to NewDisk behaviour.
+func NewResilientDisk(fs FS, cfg sim.Config, stats *trace.IOStats, res *Resilience) *Disk {
+	return &Disk{fs: fs, cfg: cfg, stats: stats, res: res}
+}
+
+// SetResilience attaches (or, with nil, detaches) the retry/checksum
+// layer.
+func (d *Disk) SetResilience(res *Resilience) { d.res = res }
+
+// Resilience returns the attached retry/checksum layer, which may be nil.
+func (d *Disk) Resilience() *Resilience { return d.res }
+
+// retryMeta runs a metadata operation (create/open/remove/truncate) under
+// the retry policy. Metadata retries are counted but not charged to the
+// simulated clock: the cost model only times data transfers.
+func (d *Disk) retryMeta(op, name string, f func() error) error {
+	if d.res == nil {
+		return f()
+	}
+	pol := d.res.Policy
+	for attempt := 0; ; attempt++ {
+		err := f()
+		if err == nil || !IsTransient(err) {
+			return err
+		}
+		if attempt >= pol.MaxRetries {
+			if s := d.stats; s != nil {
+				s.GiveUps++
+			}
+			return &ExhaustedError{Op: op, File: name, Attempts: attempt + 1, Last: err}
+		}
+		if s := d.stats; s != nil {
+			s.Retries++
+		}
+	}
 }
 
 // SetPhantom toggles accounting-only mode: operations count slab
@@ -53,23 +95,38 @@ func (d *Disk) CreateLAF(name string, elems int64) (*LAF, error) {
 	if elems < 0 {
 		return nil, fmt.Errorf("iosim: CreateLAF %s: negative size %d", name, elems)
 	}
-	f, err := d.fs.Create(name)
+	var f File
+	err := d.retryMeta("create", name, func() error {
+		var err error
+		f, err = d.fs.Create(name)
+		return err
+	})
 	if err != nil {
 		return nil, err
 	}
 	if d.phantom {
 		return &LAF{disk: d, file: f, name: name, elems: elems}, nil
 	}
-	if err := f.Truncate(elems * elemBytes); err != nil {
+	if err := d.retryMeta("truncate", name, func() error { return f.Truncate(elems * elemBytes) }); err != nil {
 		f.Close()
 		return nil, err
+	}
+	if d.res != nil {
+		// The file is all zeros now; seed its checksums so every block
+		// verifies from the first read on.
+		d.res.seedZero(name, elems*elemBytes)
 	}
 	return &LAF{disk: d, file: f, name: name, elems: elems}, nil
 }
 
 // OpenLAF opens an existing local array file of the given length.
 func (d *Disk) OpenLAF(name string, elems int64) (*LAF, error) {
-	f, err := d.fs.Open(name)
+	var f File
+	err := d.retryMeta("open", name, func() error {
+		var err error
+		f, err = d.fs.Open(name)
+		return err
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -77,7 +134,13 @@ func (d *Disk) OpenLAF(name string, elems int64) (*LAF, error) {
 }
 
 // RemoveLAF deletes a local array file by name.
-func (d *Disk) RemoveLAF(name string) error { return d.fs.Remove(name) }
+func (d *Disk) RemoveLAF(name string) error {
+	err := d.retryMeta("remove", name, func() error { return d.fs.Remove(name) })
+	if err == nil && d.res != nil {
+		d.res.dropFile(name)
+	}
+	return err
+}
 
 // Name returns the file name.
 func (l *LAF) Name() string { return l.name }
@@ -126,14 +189,17 @@ func (l *LAF) ReadChunks(chunks []Chunk, dst []float64) (float64, error) {
 		return 0, err
 	}
 	pos := 0
+	var retrySec float64
 	for _, c := range chunks {
-		if err := l.readRun(c, dst[pos:pos+c.Len]); err != nil {
+		sec, err := l.readRun(c, dst[pos:pos+c.Len])
+		retrySec += sec
+		if err != nil {
 			return 0, err
 		}
 		pos += c.Len
 	}
 	elems := TotalLen(chunks)
-	seconds := l.disk.cfg.IOTime(len(chunks), l.modelBytes(elems))
+	seconds := l.disk.cfg.IOTime(len(chunks), l.modelBytes(elems)) + retrySec
 	if s := l.disk.stats; s != nil {
 		s.SlabReads++
 		s.ReadRequests += int64(len(chunks))
@@ -158,7 +224,8 @@ func (l *LAF) ReadChunksSieved(chunks []Chunk, dst []float64) (float64, error) {
 		return 0, fmt.Errorf("iosim: %s: sieve span [%d,+%d) outside file", l.name, span.Off, span.Len)
 	}
 	buf := make([]float64, span.Len)
-	if err := l.readRun(span, buf); err != nil {
+	retrySec, err := l.readRun(span, buf)
+	if err != nil {
 		return 0, err
 	}
 	pos := 0
@@ -166,7 +233,7 @@ func (l *LAF) ReadChunksSieved(chunks []Chunk, dst []float64) (float64, error) {
 		copy(dst[pos:pos+c.Len], buf[c.Off-span.Off:])
 		pos += c.Len
 	}
-	seconds := l.disk.cfg.IOTime(1, l.modelBytes(span.Len))
+	seconds := l.disk.cfg.IOTime(1, l.modelBytes(span.Len)) + retrySec
 	if s := l.disk.stats; s != nil {
 		s.SlabReads++
 		s.ReadRequests++
@@ -190,7 +257,8 @@ func (l *LAF) WriteChunksSieved(chunks []Chunk, src []float64) (float64, error) 
 	}
 	span := Span(chunks)
 	buf := make([]float64, span.Len)
-	if err := l.readRun(span, buf); err != nil {
+	retrySec, err := l.readRun(span, buf)
+	if err != nil {
 		return 0, err
 	}
 	pos := 0
@@ -198,11 +266,13 @@ func (l *LAF) WriteChunksSieved(chunks []Chunk, src []float64) (float64, error) 
 		copy(buf[c.Off-span.Off:c.Off-span.Off+int64(c.Len)], src[pos:pos+c.Len])
 		pos += c.Len
 	}
-	if err := l.writeRun(span, buf); err != nil {
+	wSec, err := l.writeRun(span, buf)
+	retrySec += wSec
+	if err != nil {
 		return 0, err
 	}
 	spanBytes := l.modelBytes(span.Len)
-	seconds := l.disk.cfg.IOTime(2, 2*spanBytes)
+	seconds := l.disk.cfg.IOTime(2, 2*spanBytes) + retrySec
 	if s := l.disk.stats; s != nil {
 		s.SlabWrites++
 		s.ReadRequests++
@@ -221,14 +291,17 @@ func (l *LAF) WriteChunks(chunks []Chunk, src []float64) (float64, error) {
 		return 0, err
 	}
 	pos := 0
+	var retrySec float64
 	for _, c := range chunks {
-		if err := l.writeRun(c, src[pos:pos+c.Len]); err != nil {
+		sec, err := l.writeRun(c, src[pos:pos+c.Len])
+		retrySec += sec
+		if err != nil {
 			return 0, err
 		}
 		pos += c.Len
 	}
 	elems := TotalLen(chunks)
-	seconds := l.disk.cfg.IOTime(len(chunks), l.modelBytes(elems))
+	seconds := l.disk.cfg.IOTime(len(chunks), l.modelBytes(elems)) + retrySec
 	if s := l.disk.stats; s != nil {
 		s.SlabWrites++
 		s.WriteRequests += int64(len(chunks))
@@ -254,30 +327,204 @@ func (l *LAF) WriteAll(src []float64) (float64, error) {
 	return l.WriteChunks([]Chunk{{Off: 0, Len: int(l.elems)}}, src)
 }
 
-func (l *LAF) readRun(c Chunk, dst []float64) error {
-	if l.disk.phantom {
-		return nil
+// readRun fetches one contiguous run. It returns the simulated seconds
+// spent in retry backoff (zero on the plain path); the caller folds them
+// into the operation's duration so the clock is charged for recovery.
+func (l *LAF) readRun(c Chunk, dst []float64) (float64, error) {
+	if l.disk.phantom || c.Len == 0 {
+		return 0, nil
 	}
-	buf := make([]byte, c.Len*elemBytes)
-	n, err := l.file.ReadAt(buf, c.Off*elemBytes)
+	if l.disk.res == nil {
+		buf := make([]byte, c.Len*elemBytes)
+		return 0, l.rawRead(buf, c.Off*elemBytes, func() { decode(dst, buf) })
+	}
+	return l.readRunResilient(c, dst)
+}
+
+// rawRead reads exactly len(buf) bytes at off and runs done on success.
+func (l *LAF) rawRead(buf []byte, off int64, done func()) error {
+	n, err := l.file.ReadAt(buf, off)
 	if err != nil && !(err == io.EOF && n == len(buf)) {
-		return fmt.Errorf("iosim: read %s @%d: %w", l.name, c.Off, err)
+		return fmt.Errorf("iosim: read %s @%d: %w", l.name, off/elemBytes, err)
 	}
 	if n != len(buf) {
-		return fmt.Errorf("iosim: short read on %s @%d: %d of %d bytes", l.name, c.Off, n, len(buf))
+		return fmt.Errorf("iosim: short read on %s @%d: %d of %d bytes", l.name, off/elemBytes, n, len(buf))
 	}
-	decode(dst, buf)
+	if done != nil {
+		done()
+	}
 	return nil
 }
 
-func (l *LAF) writeRun(c Chunk, src []float64) error {
-	if l.disk.phantom {
-		return nil
+// readRunResilient widens the run to checksum-block boundaries, reads it,
+// verifies every touched block against the stored CRC32s, and retries
+// transient failures and detected corruption with capped exponential
+// backoff. The backoff is returned in simulated seconds.
+func (l *LAF) readRunResilient(c Chunk, dst []float64) (float64, error) {
+	res := l.disk.res
+	pol := res.Policy
+	byteOff := c.Off * elemBytes
+	byteLen := int64(c.Len) * elemBytes
+	lo := byteOff / ChecksumBlockBytes * ChecksumBlockBytes
+	hi := (byteOff + byteLen + ChecksumBlockBytes - 1) / ChecksumBlockBytes * ChecksumBlockBytes
+	if max := l.elems * elemBytes; hi > max {
+		hi = max
+	}
+	buf := make([]byte, hi-lo)
+	var retrySec float64
+	for attempt := 0; ; attempt++ {
+		err := l.rawRead(buf, lo, nil)
+		if err == nil {
+			block, ok := res.verifyBlocks(l.name, lo, buf)
+			if ok {
+				decode(dst, buf[byteOff-lo:byteOff-lo+byteLen])
+				return retrySec, nil
+			}
+			err = &CorruptionError{File: l.name, Block: block}
+			if s := l.disk.stats; s != nil {
+				s.Corruptions++
+			}
+		}
+		if !IsTransient(err) {
+			return retrySec, err
+		}
+		if attempt >= pol.MaxRetries {
+			if s := l.disk.stats; s != nil {
+				s.GiveUps++
+			}
+			return retrySec, &ExhaustedError{Op: "read", File: l.name, Attempts: attempt + 1, Last: err}
+		}
+		wait := pol.backoff(attempt)
+		retrySec += wait
+		if s := l.disk.stats; s != nil {
+			s.Retries++
+			s.RetrySeconds += wait
+		}
+	}
+}
+
+// writeRun stores one contiguous run, returning simulated retry backoff
+// like readRun.
+func (l *LAF) writeRun(c Chunk, src []float64) (float64, error) {
+	if l.disk.phantom || c.Len == 0 {
+		return 0, nil
 	}
 	buf := make([]byte, c.Len*elemBytes)
 	encode(buf, src)
-	if _, err := l.file.WriteAt(buf, c.Off*elemBytes); err != nil {
-		return fmt.Errorf("iosim: write %s @%d: %w", l.name, c.Off, err)
+	byteOff := c.Off * elemBytes
+	if l.disk.res == nil {
+		if _, err := l.file.WriteAt(buf, byteOff); err != nil {
+			return 0, fmt.Errorf("iosim: write %s @%d: %w", l.name, c.Off, err)
+		}
+		return 0, nil
+	}
+	return l.writeRunResilient(buf, byteOff)
+}
+
+// writeRunResilient writes the encoded run with retries and refreshes the
+// checksum store for every touched block.
+func (l *LAF) writeRunResilient(buf []byte, byteOff int64) (float64, error) {
+	pol := l.disk.res.Policy
+	var retrySec float64
+	for attempt := 0; ; attempt++ {
+		err := l.rawWrite(buf, byteOff)
+		if err == nil {
+			l.updateChecksums(byteOff, buf)
+			return retrySec, nil
+		}
+		if !IsTransient(err) {
+			return retrySec, err
+		}
+		if attempt >= pol.MaxRetries {
+			if s := l.disk.stats; s != nil {
+				s.GiveUps++
+			}
+			return retrySec, &ExhaustedError{Op: "write", File: l.name, Attempts: attempt + 1, Last: err}
+		}
+		wait := pol.backoff(attempt)
+		retrySec += wait
+		if s := l.disk.stats; s != nil {
+			s.Retries++
+			s.RetrySeconds += wait
+		}
+	}
+}
+
+// rawWrite writes exactly len(buf) bytes at off.
+func (l *LAF) rawWrite(buf []byte, off int64) error {
+	n, err := l.file.WriteAt(buf, off)
+	if err != nil {
+		return fmt.Errorf("iosim: write %s @%d: %w", l.name, off/elemBytes, err)
+	}
+	if n != len(buf) {
+		return fmt.Errorf("iosim: short write on %s @%d: %d of %d bytes", l.name, off/elemBytes, n, len(buf))
 	}
 	return nil
+}
+
+// updateChecksums refreshes the stored CRC32 of every block touched by a
+// successful write of buf at byteOff. Interior blocks hash the written
+// bytes directly; partially covered edge blocks are read back (with the
+// written bytes overlaid) and double-read for stability, so a corrupted
+// read-back cannot poison the store — at worst the block's checksum is
+// dropped and that block goes unverified until its next full write.
+func (l *LAF) updateChecksums(byteOff int64, buf []byte) {
+	res := l.disk.res
+	fileBytes := l.elems * elemBytes
+	end := byteOff + int64(len(buf))
+	first := byteOff / ChecksumBlockBytes
+	last := (end - 1) / ChecksumBlockBytes
+	for b := first; b <= last; b++ {
+		bLo := b * ChecksumBlockBytes
+		bHi := bLo + ChecksumBlockBytes
+		if bHi > fileBytes {
+			bHi = fileBytes
+		}
+		if bLo >= byteOff && bHi <= end {
+			res.set(l.name, b, crc32.ChecksumIEEE(buf[bLo-byteOff:bHi-byteOff]))
+			continue
+		}
+		blk, ok := l.stableReadBlock(bLo, bHi, byteOff, buf)
+		if !ok {
+			res.del(l.name, b)
+			continue
+		}
+		res.set(l.name, b, crc32.ChecksumIEEE(blk))
+	}
+}
+
+// stableReadBlock reads the file bytes [bLo, bHi) twice, overlaying the
+// freshly written range [wOff, wOff+len(wBuf)) from memory, and returns
+// the content only when both reads agree — defending the checksum store
+// against transient read-path corruption of the read-back.
+func (l *LAF) stableReadBlock(bLo, bHi, wOff int64, wBuf []byte) ([]byte, bool) {
+	overlay := func(p []byte) {
+		oLo, oHi := wOff, wOff+int64(len(wBuf))
+		if oLo < bLo {
+			oLo = bLo
+		}
+		if oHi > bHi {
+			oHi = bHi
+		}
+		if oLo < oHi {
+			copy(p[oLo-bLo:oHi-bLo], wBuf[oLo-wOff:oHi-wOff])
+		}
+	}
+	attempts := l.disk.res.Policy.MaxRetries + 1
+	if attempts < 2 {
+		attempts = 2
+	}
+	a := make([]byte, bHi-bLo)
+	b := make([]byte, bHi-bLo)
+	for i := 0; i < attempts; i++ {
+		if l.rawRead(a, bLo, nil) != nil || l.rawRead(b, bLo, nil) != nil {
+			continue
+		}
+		overlay(a)
+		overlay(b)
+		if string(a) == string(b) {
+			return a, true
+		}
+	}
+	return nil, false
 }

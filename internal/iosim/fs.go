@@ -80,6 +80,18 @@ func (fs *MemFS) Open(name string) (File, error) {
 	return f, nil
 }
 
+// Names returns the names of all files currently in the file system, in
+// unspecified order. Tests use it to assert that failed runs clean up.
+func (fs *MemFS) Names() []string {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	names := make([]string, 0, len(fs.files))
+	for name := range fs.files {
+		names = append(names, name)
+	}
+	return names
+}
+
 // Remove deletes the named file.
 func (fs *MemFS) Remove(name string) error {
 	fs.mu.Lock()

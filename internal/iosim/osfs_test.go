@@ -1,0 +1,74 @@
+package iosim
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestOSFSOpenMissingFileFails(t *testing.T) {
+	fs, err := NewOSFS(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Open("does-not-exist.laf"); err == nil {
+		t.Fatal("opening a missing file must fail")
+	}
+}
+
+func TestOSFSRemoveMissingFileFails(t *testing.T) {
+	fs, err := NewOSFS(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.Remove("does-not-exist.laf"); err == nil {
+		t.Fatal("removing a missing file must fail")
+	}
+}
+
+func TestOSFSReopenAfterCloseSeesData(t *testing.T) {
+	fs, err := NewOSFS(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := fs.Create("x.laf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("persistent payload")
+	if _, err := f.WriteAt(payload, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	g, err := fs.Open("x.laf")
+	if err != nil {
+		t.Fatalf("reopen after close: %v", err)
+	}
+	defer g.Close()
+	buf := make([]byte, len(payload))
+	if n, err := g.ReadAt(buf, 0); err != nil || n != len(buf) {
+		t.Fatalf("read after reopen: n=%d err=%v", n, err)
+	}
+	if !bytes.Equal(buf, payload) {
+		t.Fatalf("read %q, want %q", buf, payload)
+	}
+}
+
+func TestOSFSRemoveThenOpenFails(t *testing.T) {
+	fs, err := NewOSFS(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := fs.Create("x.laf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if err := fs.Remove("x.laf"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.Open("x.laf"); err == nil {
+		t.Fatal("opening a removed file must fail")
+	}
+}

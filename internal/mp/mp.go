@@ -10,6 +10,7 @@
 package mp
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
@@ -87,10 +88,17 @@ func Run(cfg sim.Config, node NodeFunc) (*trace.Stats, error) {
 		}(rank)
 	}
 	wg.Wait()
+	var failures []error
 	for rank, err := range errs {
 		if err != nil {
-			return stats, fmt.Errorf("mp: processor %d: %w", rank, err)
+			failures = append(failures, fmt.Errorf("processor %d: %w", rank, err))
 		}
+	}
+	if len(failures) > 0 {
+		// Join all node errors: under fault injection several processors
+		// typically fail at once, and reporting only the lowest rank would
+		// hide the other diagnoses.
+		return stats, fmt.Errorf("mp: %w", errors.Join(failures...))
 	}
 	return stats, nil
 }

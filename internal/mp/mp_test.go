@@ -1,9 +1,11 @@
 package mp
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"runtime"
+	"strings"
 	"testing"
 	"time"
 
@@ -424,4 +426,28 @@ func TestBufferedMessagesDrainAfterExit(t *testing.T) {
 		}
 		return nil
 	})
+}
+
+func TestRunJoinsAllNodeErrors(t *testing.T) {
+	errA := errors.New("rank 0 exploded")
+	errB := errors.New("rank 2 exploded")
+	_, err := Run(sim.Delta(3), func(p *Proc) error {
+		switch p.Rank() {
+		case 0:
+			return errA
+		case 2:
+			return errB
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("want joined error")
+	}
+	if !errors.Is(err, errA) || !errors.Is(err, errB) {
+		t.Fatalf("joined error must contain both failures, got %v", err)
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "processor 0") || !strings.Contains(msg, "processor 2") {
+		t.Fatalf("joined error must name each failing rank, got %q", msg)
+	}
 }

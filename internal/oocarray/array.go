@@ -87,6 +87,23 @@ func New(disk *iosim.Disk, dmap *dist.Array, proc int, clock *sim.Clock, opts Op
 	return &Array{dmap: dmap, proc: proc, rows: rows, cols: cols, laf: laf, clock: clock, opts: opts}, nil
 }
 
+// Open attaches to the existing local array file of processor proc (the
+// resume path): like New, but the file must already exist and its
+// contents are preserved.
+func Open(disk *iosim.Disk, dmap *dist.Array, proc int, clock *sim.Clock, opts Options) (*Array, error) {
+	if len(dmap.Dims) != 2 {
+		return nil, fmt.Errorf("oocarray: %s is %d-dimensional; only 2-D arrays are supported", dmap.Name, len(dmap.Dims))
+	}
+	shape := dmap.LocalShape(proc)
+	rows, cols := shape[0], shape[1]
+	name := fmt.Sprintf("%s.p%d.laf", dmap.Name, proc)
+	laf, err := disk.OpenLAF(name, int64(rows)*int64(cols))
+	if err != nil {
+		return nil, err
+	}
+	return &Array{dmap: dmap, proc: proc, rows: rows, cols: cols, laf: laf, clock: clock, opts: opts}, nil
+}
+
 // Close releases the local array file handle (the file itself remains).
 func (a *Array) Close() error { return a.laf.Close() }
 

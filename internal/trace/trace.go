@@ -30,6 +30,20 @@ type IOStats struct {
 
 	// Seconds is simulated time spent in the I/O subsystem.
 	Seconds float64
+
+	// Retries counts transient faults that were retried by the resilient
+	// I/O layer; RetrySeconds is the simulated backoff charged for them.
+	Retries      int64
+	RetrySeconds float64
+
+	// Corruptions counts checksum mismatches detected on reads (each is
+	// retried; a mismatch that survives the retry budget also counts as a
+	// give-up).
+	Corruptions int64
+
+	// GiveUps counts operations that exhausted the retry budget and
+	// failed permanently.
+	GiveUps int64
 }
 
 // Add accumulates other into s.
@@ -41,6 +55,10 @@ func (s *IOStats) Add(other IOStats) {
 	s.BytesRead += other.BytesRead
 	s.BytesWritten += other.BytesWritten
 	s.Seconds += other.Seconds
+	s.Retries += other.Retries
+	s.RetrySeconds += other.RetrySeconds
+	s.Corruptions += other.Corruptions
+	s.GiveUps += other.GiveUps
 }
 
 // Requests returns the total physical request count.
@@ -147,6 +165,18 @@ func (s *Stats) MaxIO() IOStats {
 		}
 		if p.IO.Seconds > m.Seconds {
 			m.Seconds = p.IO.Seconds
+		}
+		if p.IO.Retries > m.Retries {
+			m.Retries = p.IO.Retries
+		}
+		if p.IO.RetrySeconds > m.RetrySeconds {
+			m.RetrySeconds = p.IO.RetrySeconds
+		}
+		if p.IO.Corruptions > m.Corruptions {
+			m.Corruptions = p.IO.Corruptions
+		}
+		if p.IO.GiveUps > m.GiveUps {
+			m.GiveUps = p.IO.GiveUps
 		}
 	}
 	return m
