@@ -226,3 +226,28 @@ func BenchmarkEwiseCompiledExecution(b *testing.B) {
 	}
 	b.ReportMetric(sec, "sim_s")
 }
+
+// BenchmarkTransposeMethod measures the collective transpose pipeline per
+// destination write strategy — the experiment E9 sweep's cost axis.
+func BenchmarkTransposeMethod(b *testing.B) {
+	const procs = 4
+	for _, method := range []string{"direct", "sieved", "two-phase"} {
+		b.Run(method, func(b *testing.B) {
+			res, err := compiler.CompileSource(hpf.TransposeSource, compiler.Options{
+				N: benchN, Procs: procs, MemElems: 16 * benchN, Force: method,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			var sec float64
+			for i := 0; i < b.N; i++ {
+				out, err := exec.Run(res.Program, sim.Delta(procs), exec.Options{Phantom: true})
+				if err != nil {
+					b.Fatal(err)
+				}
+				sec = out.Stats.ElapsedSeconds()
+			}
+			b.ReportMetric(sec, "sim_s")
+		})
+	}
+}

@@ -24,7 +24,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "fig10, table1, table2, eqcheck, ablations or all")
+		experiment = flag.String("experiment", "all", "fig10, table1, table2, eqcheck, ablations, compiled, lu, twophase or all")
 		n          = flag.Int("n", 0, "matrix extent (0 = the paper's scale per experiment)")
 		procsList  = flag.String("procs", "", "comma-separated processor counts (default per experiment)")
 		ratioList  = flag.String("ratios", "", "comma-separated slab-ratio denominators, e.g. 8,4,2,1")
@@ -63,10 +63,12 @@ func main() {
 	}
 	for _, name := range names {
 		text, csv, err := core.RunExperiment(name, params)
+		if text != "" {
+			fmt.Printf("=== %s ===\n%s\n", name, text)
+		}
 		if err != nil {
 			fatal(fmt.Errorf("%s: %w", name, err))
 		}
-		fmt.Printf("=== %s ===\n%s\n", name, text)
 		if *csvPath != "" && csv != "" {
 			path := *csvPath
 			if len(names) > 1 {

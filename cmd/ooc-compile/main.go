@@ -26,7 +26,7 @@ func main() {
 		procs  = flag.Int("procs", 0, "override the processor count (0 keeps the program's parameter)")
 		mem    = flag.Int("mem", 1<<16, "node memory for slabs, in array elements")
 		policy = flag.String("policy", "weighted", "memory allocation policy: even, weighted, search")
-		force  = flag.String("force", "", "force a strategy: row-slab or column-slab (default: cost model decides)")
+		force  = flag.String("force", "", "force a strategy: row-slab/column-slab, or direct/sieved/two-phase for transpose (default: cost model decides)")
 		sieve  = flag.Bool("sieve", false, "compile row-slab transfers to use data sieving")
 	)
 	flag.Parse()
@@ -85,6 +85,10 @@ func main() {
 				i+1, st.Out, st.Expr.String(), st.Lo+1, st.Hi+1, st.MinShift, st.MaxShift, st.Ins)
 		}
 		for _, a := range an.Shift.Arrays {
+			fmt.Printf("  %-6s mapping %s\n", a, an.Mappings[a])
+		}
+	case compiler.PatternTranspose:
+		for _, a := range []string{an.Transpose.Src, an.Transpose.Dst} {
 			fmt.Printf("  %-6s mapping %s\n", a, an.Mappings[a])
 		}
 	}

@@ -49,6 +49,28 @@ func main() {
 		}
 	}
 	fmt.Println("\nT_fetch in slab transfers, T_data in elements; Equations 3-6 of the paper.")
+
+	fmt.Printf("\nCollective transpose candidates, %dx%d (per-processor requests / estimated I/O+comm seconds)\n", *n, *n)
+	fmt.Printf("%-5s %-6s %20s %20s %20s %12s\n",
+		"P", "ratio", "direct", "sieved", "two-phase", "selected")
+	for _, p := range procs {
+		if *n%p != 0 {
+			continue
+		}
+		mach := sim.Delta(p)
+		for _, r := range ratios {
+			m := *n * *n / p / r
+			cands := cost.TransposeCandidates(cost.TransposeParams{N: *n, P: p, MemElems: m})
+			sel := cands[cost.Select(cands, mach)].Label
+			cell := func(c cost.Candidate) string {
+				return fmt.Sprintf("%9d /%8.2fs", c.TotalRequests(), c.Seconds(mach))
+			}
+			fmt.Printf("%-5d %-6s %20s %20s %20s %12s\n",
+				p, cliutil.RatioLabel(r), cell(cands[0]), cell(cands[1]), cell(cands[2]), sel)
+		}
+	}
+	fmt.Println("\nTranspose candidates share the contiguous source reads and the all-to-all")
+	fmt.Println("shuffle; they differ in the destination write strategy (see internal/collio).")
 }
 
 func fatal(err error) {

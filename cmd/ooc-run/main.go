@@ -30,7 +30,7 @@ func main() {
 		n        = flag.Int("n", 256, "problem size n (overrides the program parameter)")
 		procs    = flag.Int("procs", 4, "processor count")
 		mem      = flag.Int("mem", 1<<15, "node memory for slabs, in elements")
-		force    = flag.String("force", "", "force a strategy: row-slab or column-slab")
+		force    = flag.String("force", "", "force a strategy: row-slab/column-slab, or direct/sieved/two-phase for transpose")
 		phantom  = flag.Bool("phantom", false, "accounting-only mode (no data, no verification)")
 		sieve    = flag.Bool("sieve", false, "use data sieving for discontiguous slabs")
 		prefetch = flag.Bool("prefetch", false, "overlap slab reads with computation")
@@ -109,9 +109,13 @@ func main() {
 		spans = trace.NewSpanLog()
 	}
 	fills := map[string]func(int, int) float64{}
-	if res.Analysis.Pattern == compiler.PatternGaxpy {
+	switch res.Analysis.Pattern {
+	case compiler.PatternGaxpy:
 		fills[an.A] = gaxpy.FillA
 		fills[an.B] = gaxpy.FillB
+	case compiler.PatternTranspose:
+		nn := res.Program.N
+		fills[an.Transpose.Src] = func(gi, gj int) float64 { return float64(gi*nn + gj + 1) }
 	}
 	eopts := exec.Options{
 		FS:         fs,
@@ -158,6 +162,13 @@ func main() {
 			ps.Proc, ps.Seconds, ps.IO.Seconds, ps.IO.Requests(),
 			cliutil.FormatBytes(ps.IO.Bytes()), ps.Comm.Seconds, ps.ComputeSeconds)
 	}
+	totalIO := out.Stats.TotalIO()
+	fmt.Printf("io request sizes: reads %s | writes %s\n",
+		totalIO.ReadSizes.String(), totalIO.WriteSizes.String())
+	if comm := out.Stats.TotalComm(); comm.ShuffleMessages > 0 {
+		fmt.Printf("collective shuffle: %d messages, %s\n",
+			comm.ShuffleMessages, cliutil.FormatBytes(comm.ShuffleBytes))
+	}
 
 	if *verify && !*phantom && res.Analysis.Pattern == compiler.PatternGaxpy {
 		c, err := out.ReadArray(an.C)
@@ -173,6 +184,23 @@ func main() {
 			}
 		}
 		fmt.Printf("verification: C matches the closed form exactly (%dx%d elements)\n", c.Rows, c.Cols)
+	}
+	if *verify && !*phantom && res.Analysis.Pattern == compiler.PatternTranspose {
+		b, err := out.ReadArray(an.Transpose.Dst)
+		if err != nil {
+			fatal(err)
+		}
+		fill := fills[an.Transpose.Src]
+		for j := 0; j < b.Cols; j++ {
+			for i := 0; i < b.Rows; i++ {
+				if b.At(i, j) != fill(j, i) {
+					fatal(fmt.Errorf("verification failed at %s(%d,%d): %g != %g",
+						an.Transpose.Dst, i, j, b.At(i, j), fill(j, i)))
+				}
+			}
+		}
+		fmt.Printf("verification: %s is the exact transpose of %s (%dx%d elements)\n",
+			an.Transpose.Dst, an.Transpose.Src, b.Rows, b.Cols)
 	}
 }
 

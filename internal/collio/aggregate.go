@@ -1,0 +1,24 @@
+package collio
+
+import "github.com/ooc-hpf/passion/internal/iosim"
+
+// AggregateRead fetches the given file chunks with request aggregation:
+// a fragmented transfer is served by a single request covering the whole
+// span (PASSION data sieving), a contiguous one by a plain read. The
+// out-of-core array layer routes its sieved slab reads through here.
+func AggregateRead(laf *iosim.LAF, chunks []iosim.Chunk, dst []float64) (float64, error) {
+	if len(chunks) > 1 {
+		return laf.ReadChunksSieved(chunks, dst)
+	}
+	return laf.ReadChunks(chunks, dst)
+}
+
+// AggregateWrite stores the given chunks with request aggregation: a
+// fragmented transfer becomes one read-modify-write of the covering span,
+// a contiguous one a plain write.
+func AggregateWrite(laf *iosim.LAF, chunks []iosim.Chunk, src []float64) (float64, error) {
+	if len(chunks) > 1 {
+		return laf.WriteChunksSieved(chunks, src)
+	}
+	return laf.WriteChunks(chunks, src)
+}

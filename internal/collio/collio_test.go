@@ -1,0 +1,333 @@
+package collio
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"github.com/ooc-hpf/passion/internal/dist"
+	"github.com/ooc-hpf/passion/internal/iosim"
+	"github.com/ooc-hpf/passion/internal/mp"
+	"github.com/ooc-hpf/passion/internal/sim"
+)
+
+func valueAt(gi, gj int) float64 { return float64(gi*1000 + gj + 1) }
+
+// sideFor builds the collective Side of one rank's local array file,
+// creating and filling the LAF from the global fill function.
+func sideFor(t *testing.T, disk *iosim.Disk, dm *dist.Array, rank int, fill func(gi, gj int) float64) Side {
+	t.Helper()
+	shape := dm.LocalShape(rank)
+	rows, cols := shape[0], shape[1]
+	laf, err := disk.CreateLAF(fmt.Sprintf("%s.p%d.laf", dm.Name, rank), int64(rows*cols))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Side{Map: dm, LAF: laf, Rank: rank, Rows: rows, Cols: cols}
+	if fill != nil && rows*cols > 0 {
+		data := make([]float64, rows*cols)
+		for lj := 0; lj < cols; lj++ {
+			for li := 0; li < rows; li++ {
+				gi, gj := s.globalIndex(li, lj)
+				data[lj*rows+li] = fill(gi, gj)
+			}
+		}
+		if _, err := laf.WriteChunks([]iosim.Chunk{{Off: 0, Len: len(data)}}, data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s
+}
+
+// checkSide verifies every element of the rank's destination file.
+func checkSide(s Side, want func(gi, gj int) float64) error {
+	if s.Rows*s.Cols == 0 {
+		return nil
+	}
+	data := make([]float64, s.Rows*s.Cols)
+	if _, err := s.LAF.ReadChunks([]iosim.Chunk{{Off: 0, Len: len(data)}}, data); err != nil {
+		return err
+	}
+	for lj := 0; lj < s.Cols; lj++ {
+		for li := 0; li < s.Rows; li++ {
+			gi, gj := s.globalIndex(li, lj)
+			if got, w := data[lj*s.Rows+li], want(gi, gj); got != w {
+				return fmt.Errorf("rank %d dst(%d,%d)=g(%d,%d): got %g want %g",
+					s.Rank, li, lj, gi, gj, got, w)
+			}
+		}
+	}
+	return nil
+}
+
+// redistCase is one distribution scenario of the method-equivalence
+// property: all three write strategies must land every element exactly
+// where the destination mapping (after transform) says.
+type redistCase struct {
+	name      string
+	n, p      int
+	memElems  int
+	mkSrc     func(n, p int) (*dist.Array, error)
+	mkDst     func(n, p int) (*dist.Array, error)
+	transform func(gi, gj int) (int, int)
+	wantAt    func(gi, gj int) float64
+}
+
+func colBlock(name string) func(n, p int) (*dist.Array, error) {
+	return func(n, p int) (*dist.Array, error) {
+		return dist.NewArray(name, dist.NewCollapsed(n), dist.NewBlock(n, p))
+	}
+}
+
+func redistCases() []redistCase {
+	return []redistCase{
+		{
+			name: "column-to-row-block", n: 12, p: 4, memElems: 24,
+			mkSrc: colBlock("src"),
+			mkDst: func(n, p int) (*dist.Array, error) {
+				return dist.NewArray("dst", dist.NewBlock(n, p), dist.NewCollapsed(n))
+			},
+			wantAt: valueAt,
+		},
+		{
+			name: "ragged-to-cyclic", n: 10, p: 3, memElems: 20,
+			mkSrc: colBlock("src"),
+			mkDst: func(n, p int) (*dist.Array, error) {
+				return dist.NewArray("dst", dist.NewCollapsed(n), dist.NewCyclic(n, p))
+			},
+			wantAt: valueAt,
+		},
+		{
+			name: "ragged-transpose", n: 9, p: 4, memElems: 18,
+			mkSrc:     colBlock("src"),
+			mkDst:     colBlock("dst"),
+			transform: func(gi, gj int) (int, int) { return gj, gi },
+			wantAt:    func(gi, gj int) float64 { return valueAt(gj, gi) },
+		},
+		{
+			name: "to-block-block-grid", n: 12, p: 4, memElems: 24,
+			mkSrc: colBlock("src"),
+			mkDst: func(n, p int) (*dist.Array, error) {
+				return dist.NewGridArray("dst", dist.NewGrid(2, 2),
+					dist.NewBlock(n, 2), dist.NewBlock(n, 2))
+			},
+			wantAt: valueAt,
+		},
+		{
+			name: "identity", n: 8, p: 2, memElems: 16,
+			mkSrc:  colBlock("src"),
+			mkDst:  colBlock("dst"),
+			wantAt: valueAt,
+		},
+		{
+			// One-column slabs and one-column windows with a spilling
+			// two-phase receiver: the smallest legal budget.
+			name: "tiny-memory-spill", n: 10, p: 4, memElems: 1,
+			mkSrc:     colBlock("src"),
+			mkDst:     colBlock("dst"),
+			transform: func(gi, gj int) (int, int) { return gj, gi },
+			wantAt:    func(gi, gj int) float64 { return valueAt(gj, gi) },
+		},
+	}
+}
+
+// runCase executes one scenario under one method over a fresh in-memory
+// file system, optionally injecting faults, and checks the destination.
+func runCase(t *testing.T, tc redistCase, method Method, chaos bool) {
+	t.Helper()
+	var fs iosim.FS = iosim.NewMemFS()
+	var resil *iosim.Resilience
+	if chaos {
+		fs = iosim.NewChaosFS(fs, iosim.ChaosConfig{Seed: 7, PTransient: 0.05})
+		resil = iosim.NewResilience(iosim.DefaultRetryPolicy())
+	}
+	_, err := mp.Run(sim.Delta(tc.p), func(proc *mp.Proc) error {
+		disk := iosim.NewResilientDisk(fs, proc.Config(), &proc.Stats().IO, resil)
+		srcMap, err := tc.mkSrc(tc.n, tc.p)
+		if err != nil {
+			return err
+		}
+		dstMap, err := tc.mkDst(tc.n, tc.p)
+		if err != nil {
+			return err
+		}
+		src := sideFor(t, disk, srcMap, proc.Rank(), valueAt)
+		dst := sideFor(t, disk, dstMap, proc.Rank(), nil)
+		if err := Redistribute(proc, src, dst, tc.memElems, 30, tc.transform, method); err != nil {
+			return err
+		}
+		return checkSide(dst, tc.wantAt)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMethodsProduceIdenticalResults is the central property: for every
+// distribution scenario, direct, sieved and two-phase all reproduce the
+// exact destination contents — so they are bitwise identical to each
+// other too.
+func TestMethodsProduceIdenticalResults(t *testing.T) {
+	for _, tc := range redistCases() {
+		for _, method := range []Method{Direct, Sieved, TwoPhase} {
+			t.Run(tc.name+"/"+method.String(), func(t *testing.T) {
+				runCase(t, tc, method, false)
+			})
+		}
+	}
+}
+
+// TestMethodsUnderChaos repeats the property with transient fault
+// injection and the retrying resilient disk: faults cost retries, never
+// correctness.
+func TestMethodsUnderChaos(t *testing.T) {
+	for _, tc := range redistCases() {
+		for _, method := range []Method{Direct, Sieved, TwoPhase} {
+			t.Run(tc.name+"/"+method.String(), func(t *testing.T) {
+				runCase(t, tc, method, true)
+			})
+		}
+	}
+}
+
+// TestTwoPhaseScratchCleanup checks that a spilling two-phase run removes
+// its scratch files, success or not.
+func TestTwoPhaseScratchCleanup(t *testing.T) {
+	fs := iosim.NewMemFS()
+	const n, p = 10, 4
+	_, err := mp.Run(sim.Delta(p), func(proc *mp.Proc) error {
+		disk := iosim.NewDisk(fs, proc.Config(), nil)
+		srcMap, err := colBlock("src")(n, p)
+		if err != nil {
+			return err
+		}
+		dstMap, err := colBlock("dst")(n, p)
+		if err != nil {
+			return err
+		}
+		src := sideFor(t, disk, srcMap, proc.Rank(), valueAt)
+		dst := sideFor(t, disk, dstMap, proc.Rank(), nil)
+		swap := func(gi, gj int) (int, int) { return gj, gi }
+		return Redistribute(proc, src, dst, 1, 31, swap, TwoPhase)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range fs.Names() {
+		if strings.Contains(name, "collio.scratch") {
+			t.Fatalf("scratch file %s left behind", name)
+		}
+	}
+}
+
+// TestTwoPhaseStagingRespectsBudget pins the memory regimes: the
+// receiver stages in memory only when twice the local array fits the
+// budget; otherwise it spills through a scratch file instead of holding
+// O(local) pairs, which is what keeps the collective within memElems.
+func TestTwoPhaseStagingRespectsBudget(t *testing.T) {
+	fs := iosim.NewMemFS()
+	dm, err := dist.NewArray("d", dist.NewCollapsed(8), dist.NewBlock(8, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	disk := iosim.NewDisk(fs, sim.Delta(1), nil)
+	side := sideFor(t, disk, dm, 0, nil) // local 8x8 = 64 elements
+
+	spill, err := newTwoPhaseReceiver(side, 16) // 2*64 > 16: must spill
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer spill.cleanup()
+	if spill.inMem || spill.scratch == nil {
+		t.Fatalf("budget 16 for a 64-element local array must spill (inMem=%v)", spill.inMem)
+	}
+	if spill.winW != 1 { // quarter budget (4 elems) over 8 rows clamps to 1 column
+		t.Fatalf("window width %d, want 1", spill.winW)
+	}
+
+	mem, err := newTwoPhaseReceiver(side, 128) // 2*64 <= 128: in memory
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mem.cleanup()
+	if !mem.inMem || mem.scratch != nil {
+		t.Fatalf("budget 128 for a 64-element local array must stay in memory")
+	}
+}
+
+func TestMethodStringRoundTrip(t *testing.T) {
+	for _, m := range []Method{Direct, Sieved, TwoPhase} {
+		got, err := ParseMethod(m.String())
+		if err != nil || got != m {
+			t.Fatalf("round trip of %v: got %v, %v", m, got, err)
+		}
+	}
+	if _, err := ParseMethod("sideways"); err == nil {
+		t.Fatal("unknown method accepted")
+	}
+	if got, err := ParseMethod("twophase"); err != nil || got != TwoPhase {
+		t.Fatalf("twophase alias: got %v, %v", got, err)
+	}
+}
+
+func TestSlabWidthClamps(t *testing.T) {
+	if w := SrcSlabWidth(100, 10, 8); w != 5 {
+		t.Fatalf("SrcSlabWidth(100,10,8) = %d, want 5", w)
+	}
+	if w := SrcSlabWidth(2, 10, 8); w != 1 {
+		t.Fatalf("tiny budget must clamp to one column, got %d", w)
+	}
+	if w := SrcSlabWidth(1000, 10, 8); w != 8 {
+		t.Fatalf("large budget must clamp to all columns, got %d", w)
+	}
+	if w := WindowWidth(100, 10, 8); w != 2 {
+		t.Fatalf("WindowWidth(100,10,8) = %d, want 2", w)
+	}
+	if w := WindowWidth(100, 0, 8); w != 1 {
+		t.Fatalf("empty local array must give width 1, got %d", w)
+	}
+}
+
+func TestCoalescePairsLastWriterWins(t *testing.T) {
+	chunks, vals := coalescePairs([]pair{
+		{lin: 3, val: 30}, {lin: 4, val: 40}, {lin: 3, val: 31}, {lin: 0, val: 1},
+	})
+	// Sorted stably: 0, 3(first), 3(second), 4. The duplicate 3 starts a
+	// fresh chunk, so writing chunks in order leaves 31 at index 3.
+	if len(chunks) != 3 {
+		t.Fatalf("chunks = %v, want 3 entries", chunks)
+	}
+	applied := make([]float64, 5)
+	i := 0
+	for _, c := range chunks {
+		for k := 0; k < c.Len; k++ {
+			applied[int(c.Off)+k] = vals[i]
+			i++
+		}
+	}
+	if applied[3] != 31 || applied[4] != 40 || applied[0] != 1 {
+		t.Fatalf("applied = %v", applied)
+	}
+}
+
+// TestRedistributeRankMismatch pins the misuse error.
+func TestRedistributeRankMismatch(t *testing.T) {
+	fs := iosim.NewMemFS()
+	_, err := mp.Run(sim.Delta(2), func(proc *mp.Proc) error {
+		disk := iosim.NewDisk(fs, proc.Config(), nil)
+		dm, err := colBlock("x")(8, 2)
+		if err != nil {
+			return err
+		}
+		s := sideFor(t, disk, dm, proc.Rank(), valueAt)
+		wrong := s
+		wrong.Rank = (proc.Rank() + 1) % 2
+		if err := Redistribute(proc, wrong, s, 8, 32, nil, Direct); err == nil {
+			return fmt.Errorf("rank mismatch not detected")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

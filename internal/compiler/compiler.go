@@ -88,6 +88,10 @@ const (
 	// PatternShift is a body of FORALLs with shifted column references,
 	// requiring boundary-column exchange.
 	PatternShift
+	// PatternTranspose is a single FORALL storing one array's rows into
+	// another's columns — an out-of-core transpose compiled to a
+	// collective redistribution.
+	PatternTranspose
 )
 
 // String names the pattern.
@@ -97,6 +101,8 @@ func (p Pattern) String() string {
 		return "elementwise"
 	case PatternShift:
 		return "shifted"
+	case PatternTranspose:
+		return "transpose"
 	default:
 		return "gaxpy"
 	}
@@ -122,6 +128,9 @@ type Analysis struct {
 	// Shift holds the analysis of a shifted-FORALL program
 	// (PatternShift).
 	Shift *ShiftAnalysis
+	// Transpose holds the analysis of a transpose program
+	// (PatternTranspose).
+	Transpose *TransposeAnalysis
 	// Comm describes the detected communication.
 	Comm string
 }
@@ -184,6 +193,8 @@ func Compile(prog *hpf.Program, opts Options) (*Result, error) {
 		return emitEwise(an, opts, mach)
 	case PatternShift:
 		return emitShift(an, opts, mach)
+	case PatternTranspose:
+		return emitTranspose(an, opts, mach)
 	default:
 		return emitGaxpy(an, opts, mach)
 	}
@@ -366,7 +377,12 @@ func analyze(prog *hpf.Program, opts Options) (*Analysis, error) {
 		an.Pattern = PatternShift
 		return an, nil
 	}
-	return nil, fmt.Errorf("compiler: program matches no supported pattern\n  as gaxpy: %v\n  as elementwise: %v\n  as shifted: %v", errGaxpy, errEwise, errShift)
+	errTranspose := matchTranspose(prog, env, an)
+	if errTranspose == nil {
+		an.Pattern = PatternTranspose
+		return an, nil
+	}
+	return nil, fmt.Errorf("compiler: program matches no supported pattern\n  as gaxpy: %v\n  as elementwise: %v\n  as shifted: %v\n  as transpose: %v", errGaxpy, errEwise, errShift, errTranspose)
 }
 
 // matchGaxpy recognizes the paper's statement pattern:

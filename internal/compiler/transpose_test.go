@@ -1,0 +1,112 @@
+package compiler
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/ooc-hpf/passion/internal/hpf"
+	"github.com/ooc-hpf/passion/internal/plan"
+	"github.com/ooc-hpf/passion/internal/sim"
+)
+
+func TestTransposeRecognized(t *testing.T) {
+	res, err := CompileSource(hpf.TransposeSource, Options{MemElems: 1 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	an := res.Analysis
+	if an.Pattern != PatternTranspose {
+		t.Fatalf("pattern = %v", an.Pattern)
+	}
+	if an.Transpose == nil || an.Transpose.Src != "a" || an.Transpose.Dst != "b" {
+		t.Fatalf("analysis = %+v", an.Transpose)
+	}
+	if !strings.Contains(an.Comm, "all-to-all") {
+		t.Errorf("comm analysis: %q", an.Comm)
+	}
+	if len(res.Program.Body) != 1 {
+		t.Fatalf("body = %v", res.Program.Body)
+	}
+	rd, ok := res.Program.Body[0].(*plan.Redistribute)
+	if !ok {
+		t.Fatalf("body node = %T", res.Program.Body[0])
+	}
+	if rd.Src != "a" || rd.Dst != "b" || !rd.Transpose || rd.MemElems != 1<<10 {
+		t.Fatalf("redistribute node = %+v", rd)
+	}
+	if rd.Method != res.Program.Strategy {
+		t.Fatalf("method %q vs strategy %q", rd.Method, res.Program.Strategy)
+	}
+	if !strings.Contains(res.Program.String(), "collective_transpose") {
+		t.Errorf("pretty print:\n%s", res.Program.String())
+	}
+}
+
+func TestTransposeForceStrategy(t *testing.T) {
+	for _, method := range []string{"direct", "sieved", "two-phase"} {
+		res, err := CompileSource(hpf.TransposeSource, Options{MemElems: 1 << 10, Force: method})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Program.Strategy != method {
+			t.Errorf("forced %q, compiled %q", method, res.Program.Strategy)
+		}
+	}
+	if _, err := CompileSource(hpf.TransposeSource, Options{MemElems: 1 << 10, Force: "row-slab"}); err == nil {
+		t.Error("foreign strategy accepted for the transpose pattern")
+	}
+}
+
+func TestTransposeSelectionTracksMachine(t *testing.T) {
+	// Tight memory on the Delta: fragmented direct writes are hopeless.
+	res, err := CompileSource(hpf.TransposeSource, Options{N: 256, Procs: 4, MemElems: 16 * 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Program.Strategy == "direct" {
+		t.Errorf("direct selected under 15ms request overhead")
+	}
+	// Zero request overhead: direct's single-pass volume wins back.
+	free := sim.Delta(4)
+	free.DiskRequestOverhead = 0
+	res, err = CompileSource(hpf.TransposeSource, Options{N: 256, Procs: 4, MemElems: 16 * 256, Machine: free})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Program.Strategy != "direct" {
+		t.Errorf("strategy = %s with free requests", res.Program.Strategy)
+	}
+}
+
+func TestTransposeRejectsNonMatching(t *testing.T) {
+	bad := []struct{ name, src string }{
+		{"same array", `parameter (n=8, nprocs=2)
+real a(n,n)
+!hpf$ processors pr(nprocs)
+!hpf$ template d(n)
+!hpf$ distribute d(block) on pr
+!hpf$ align (*,:) with d :: a
+FORALL (k=1:n)
+  a(1:n,k) = a(k,1:n)
+end FORALL
+end
+`},
+		{"not transposed", `parameter (n=8, nprocs=2)
+real a(n,n), b(n,n)
+!hpf$ processors pr(nprocs)
+!hpf$ template d(n)
+!hpf$ distribute d(block) on pr
+!hpf$ align (*,:) with d :: a, b
+FORALL (k=1:n)
+  b(1:n,k) = a(1:n,k) + a(1:n,k)
+end FORALL
+end
+`},
+	}
+	for _, tc := range bad {
+		if res, err := CompileSource(tc.src, Options{MemElems: 1 << 10}); err == nil &&
+			res.Analysis.Pattern == PatternTranspose {
+			t.Errorf("%s recognized as transpose", tc.name)
+		}
+	}
+}

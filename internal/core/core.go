@@ -91,7 +91,7 @@ func (s *Session) CompileAndRun(source string, copts compiler.Options, eopts exe
 }
 
 // Experiment names every reproducible artifact of the paper.
-var ExperimentNames = []string{"fig10", "table1", "table2", "eqcheck", "ablations", "compiled", "lu"}
+var ExperimentNames = []string{"fig10", "table1", "table2", "eqcheck", "ablations", "compiled", "lu", "twophase"}
 
 // RunExperiment regenerates the named table or figure and returns its
 // formatted text (plus CSV where available).
@@ -120,6 +120,9 @@ func RunExperiment(name string, p experiments.Params) (text, csv string, err err
 		if err != nil {
 			return "", "", err
 		}
+		if !r.AllMatch() {
+			return r.Format(), "", fmt.Errorf("core: eqcheck found closed-form/measured mismatches")
+		}
 		return r.Format(), "", nil
 	case "ablations":
 		r, err := experiments.Ablations(p)
@@ -139,6 +142,16 @@ func RunExperiment(name string, p experiments.Params) (text, csv string, err err
 			return "", "", err
 		}
 		return r.Format(), "", nil
+	case "twophase":
+		r, err := experiments.TwoPhase(p)
+		if err != nil {
+			return "", "", err
+		}
+		if !r.AllBitwise() || !r.AllExact() || !r.SelectionAgrees() {
+			return r.Format(), r.CSV(), fmt.Errorf("core: twophase validation failed (bitwise=%v exact=%v selection=%v)",
+				r.AllBitwise(), r.AllExact(), r.SelectionAgrees())
+		}
+		return r.Format(), r.CSV(), nil
 	default:
 		return "", "", fmt.Errorf("core: unknown experiment %q (have %v)", name, ExperimentNames)
 	}

@@ -76,46 +76,105 @@ func (s Stream) Seconds(cfg sim.Config) float64 {
 	return cfg.IOTime(int(s.Requests()), s.Elems()*int64(cfg.ElemSize))
 }
 
-// Candidate is one complete strip-mining strategy for a statement: a
-// label (e.g. "row-slab") and the streams of every out-of-core array
-// involved.
+// Tally is a directly counted I/O term for strategies whose request
+// pattern does not fit Stream's per-fetch regularity — the collective
+// two-phase schedule, whose scratch-spill and window-flush counts are
+// mirrored exactly from the runtime's accounting rather than derived
+// from a slab geometry.
+type Tally struct {
+	// Array names the traffic (e.g. "dst", "scratch").
+	Array string
+	// Fetches counts logical slab transfers (T_fetch).
+	Fetches int64
+	// Requests counts physical disk requests.
+	Requests int64
+	// Elems counts elements moved (T_data).
+	Elems int64
+	// Write marks output traffic.
+	Write bool
+}
+
+// Seconds estimates the simulated I/O time of the tally on the machine.
+func (t Tally) Seconds(cfg sim.Config) float64 {
+	return cfg.IOTime(int(t.Requests), t.Elems*int64(cfg.ElemSize))
+}
+
+// CommEstimate models a collective candidate's shuffle traffic under the
+// machine's message model: per-message startup latency plus volume over
+// the point-to-point bandwidth (send-side, matching how mp charges a
+// blocking send).
+type CommEstimate struct {
+	// Messages counts point-to-point messages per processor.
+	Messages int64
+	// Elems counts payload words sent per processor.
+	Elems int64
+}
+
+// Seconds estimates the simulated communication time on the machine.
+func (c CommEstimate) Seconds(cfg sim.Config) float64 {
+	if c.Messages == 0 && c.Elems == 0 {
+		return 0
+	}
+	return float64(c.Messages)*cfg.MsgLatency + float64(c.Elems)*float64(cfg.ElemSize)/cfg.MsgBandwidth
+}
+
+// Candidate is one complete access strategy for a statement: a label
+// (e.g. "row-slab"), the streams of every out-of-core array involved,
+// plus directly counted terms and a communication estimate for
+// collective strategies. The zero values of Tallies and Comm leave the
+// classic stream-only candidates unchanged.
 type Candidate struct {
 	Label   string
 	Streams []Stream
+	Tallies []Tally
+	Comm    CommEstimate
 }
 
-// Seconds estimates the total per-processor I/O time of the candidate.
+// Seconds estimates the total per-processor cost of the candidate: I/O
+// over all streams and tallies, plus shuffle communication.
 func (c Candidate) Seconds(cfg sim.Config) float64 {
 	t := 0.0
 	for _, s := range c.Streams {
 		t += s.Seconds(cfg)
 	}
-	return t
+	for _, ta := range c.Tallies {
+		t += ta.Seconds(cfg)
+	}
+	return t + c.Comm.Seconds(cfg)
 }
 
-// TotalFetches sums T_fetch over all streams.
+// TotalFetches sums T_fetch over all streams and tallies.
 func (c Candidate) TotalFetches() int64 {
 	var n int64
 	for _, s := range c.Streams {
 		n += s.Fetches()
 	}
+	for _, t := range c.Tallies {
+		n += t.Fetches
+	}
 	return n
 }
 
-// TotalElems sums T_data over all streams.
+// TotalElems sums T_data over all streams and tallies.
 func (c Candidate) TotalElems() int64 {
 	var n int64
 	for _, s := range c.Streams {
 		n += s.Elems()
 	}
+	for _, t := range c.Tallies {
+		n += t.Elems
+	}
 	return n
 }
 
-// TotalRequests sums physical requests over all streams.
+// TotalRequests sums physical disk requests over all streams and tallies.
 func (c Candidate) TotalRequests() int64 {
 	var n int64
 	for _, s := range c.Streams {
 		n += s.Requests()
+	}
+	for _, t := range c.Tallies {
+		n += t.Requests
 	}
 	return n
 }
@@ -146,6 +205,17 @@ func (c Candidate) String() string {
 		}
 		fmt.Fprintf(&b, " %s[%s fetches=%d elems=%d reqs=%d]",
 			s.Array, op, s.Fetches(), s.Elems(), s.Requests())
+	}
+	for _, t := range c.Tallies {
+		op := "read"
+		if t.Write {
+			op = "write"
+		}
+		fmt.Fprintf(&b, " %s[%s fetches=%d elems=%d reqs=%d]",
+			t.Array, op, t.Fetches, t.Elems, t.Requests)
+	}
+	if c.Comm.Messages > 0 || c.Comm.Elems > 0 {
+		fmt.Fprintf(&b, " comm[msgs=%d elems=%d]", c.Comm.Messages, c.Comm.Elems)
 	}
 	return b.String()
 }

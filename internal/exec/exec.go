@@ -8,6 +8,7 @@ package exec
 import (
 	"fmt"
 
+	"github.com/ooc-hpf/passion/internal/collio"
 	"github.com/ooc-hpf/passion/internal/iosim"
 	"github.com/ooc-hpf/passion/internal/matrix"
 	"github.com/ooc-hpf/passion/internal/mp"
@@ -97,6 +98,9 @@ func (r *Result) MaxArrayIO(name string) trace.IOStats {
 
 // reduceTag is the tag used by SumStore reductions.
 const reduceTag = 11
+
+// redistTag is the tag used by collective redistributions.
+const redistTag = 12
 
 // Run executes the program on a machine with the program's processor
 // count.
@@ -498,9 +502,34 @@ func (in *interp) run(n plan.Node) error {
 	case *plan.ShiftEwise:
 		return in.runShiftEwise(n)
 
+	case *plan.Redistribute:
+		return in.runRedistribute(n)
+
 	default:
 		return fmt.Errorf("exec: unknown node %T", n)
 	}
+}
+
+// runRedistribute executes a collective redistribution through the
+// two-phase I/O layer, with the write strategy the cost model chose.
+func (in *interp) runRedistribute(n *plan.Redistribute) error {
+	src, err := in.array(n.Src)
+	if err != nil {
+		return err
+	}
+	dst, err := in.array(n.Dst)
+	if err != nil {
+		return err
+	}
+	method, err := collio.ParseMethod(n.Method)
+	if err != nil {
+		return err
+	}
+	var transform func(gi, gj int) (int, int)
+	if n.Transpose {
+		transform = func(gi, gj int) (int, int) { return gj, gi }
+	}
+	return oocarray.RedistributeVia(in.proc, src, dst, n.MemElems, redistTag, transform, method)
 }
 
 // readSlab fetches one slab, going through a prefetch-capable reader for

@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestTwoPhaseSweep runs the full E9 sweep at its default (reduced)
+// scale and asserts the three acceptance properties: bitwise identical
+// results, exact closed-form request counts, and cost-model/measured
+// winner agreement — plus the order-of-magnitude request reduction at
+// the Delta calibration.
+func TestTwoPhaseSweep(t *testing.T) {
+	r, err := TwoPhase(Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.AllBitwise() {
+		t.Error("some execution diverged from the reference transpose")
+	}
+	if !r.AllExact() {
+		for _, row := range r.Rows {
+			if !row.Exact {
+				t.Errorf("%s/%s: predicted %d requests, measured %d",
+					row.Regime, row.Method, row.PredReqs, row.MeasReqs)
+			}
+		}
+	}
+	if !r.SelectionAgrees() {
+		t.Error("cost model selection disagrees with the measured winner")
+	}
+	if r.DirectOverTwoPhase < 10 {
+		t.Errorf("direct/two-phase request ratio = %.1f, want >= 10", r.DirectOverTwoPhase)
+	}
+	// Each of the three write strategies must win somewhere in the sweep:
+	// the regimes are chosen to expose all the crossovers.
+	winners := map[string]bool{}
+	for _, row := range r.Rows {
+		if row.Selected {
+			winners[row.Method] = true
+		}
+	}
+	for _, m := range twoPhaseMethods {
+		if !winners[m] {
+			t.Errorf("method %s never selected across the regimes", m)
+		}
+	}
+	text := r.Format()
+	for _, want := range []string{"two-phase", "delta-o=0", "request ratio"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("Format() missing %q:\n%s", want, text)
+		}
+	}
+	if !strings.Contains(r.CSV(), "regime,procs") {
+		t.Error("CSV header missing")
+	}
+}
+
+// TestTwoPhaseSmallOverride checks the sweep honours Params overrides.
+func TestTwoPhaseSmallOverride(t *testing.T) {
+	r, err := TwoPhase(Params{N: 64, Procs: []int{2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.N != 64 {
+		t.Fatalf("N = %d", r.N)
+	}
+	if !r.AllBitwise() || !r.AllExact() {
+		t.Fatalf("reduced run failed validation: bitwise=%v exact=%v", r.AllBitwise(), r.AllExact())
+	}
+}

@@ -20,6 +20,22 @@ end do
 end
 `
 
+// TransposeSource is an out-of-core transpose program: the compiler
+// recognizes it as a collective redistribution with swapped global
+// indices and selects the destination write strategy (direct, sieved,
+// two-phase) with the cost model.
+const TransposeSource = `parameter (n=64, nprocs=4)
+real a(n,n), b(n,n)
+!hpf$ processors pr(nprocs)
+!hpf$ template d(n)
+!hpf$ distribute d(block) on pr
+!hpf$ align (*,:) with d :: a, b
+FORALL (k=1:n)
+  b(1:n,k) = a(k,1:n)
+end FORALL
+end
+`
+
 // EwiseSource is an elementwise multi-statement FORALL program used to
 // exercise the compiler's second pattern class: scaled array updates with
 // no communication.

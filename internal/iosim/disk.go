@@ -145,6 +145,11 @@ func (d *Disk) RemoveLAF(name string) error {
 // Name returns the file name.
 func (l *LAF) Name() string { return l.name }
 
+// Disk returns the logical disk the file lives on. The collective I/O
+// layer uses it to create scratch files that share the array's cost
+// accounting.
+func (l *LAF) Disk() *Disk { return l.disk }
+
 // Quiet returns a view of the same file that performs no statistics
 // accounting (and whose returned durations should be discarded). It is
 // used for initialization and verification I/O, which the paper's
@@ -205,6 +210,9 @@ func (l *LAF) ReadChunks(chunks []Chunk, dst []float64) (float64, error) {
 		s.ReadRequests += int64(len(chunks))
 		s.BytesRead += l.modelBytes(elems)
 		s.Seconds += seconds
+		for _, c := range chunks {
+			s.ReadSizes.Observe(l.modelBytes(c.Len))
+		}
 	}
 	return seconds, nil
 }
@@ -239,6 +247,7 @@ func (l *LAF) ReadChunksSieved(chunks []Chunk, dst []float64) (float64, error) {
 		s.ReadRequests++
 		s.BytesRead += l.modelBytes(span.Len)
 		s.Seconds += seconds
+		s.ReadSizes.Observe(l.modelBytes(span.Len))
 	}
 	return seconds, nil
 }
@@ -280,6 +289,8 @@ func (l *LAF) WriteChunksSieved(chunks []Chunk, src []float64) (float64, error) 
 		s.BytesRead += spanBytes
 		s.BytesWritten += spanBytes
 		s.Seconds += seconds
+		s.ReadSizes.Observe(spanBytes)
+		s.WriteSizes.Observe(spanBytes)
 	}
 	return seconds, nil
 }
@@ -307,6 +318,9 @@ func (l *LAF) WriteChunks(chunks []Chunk, src []float64) (float64, error) {
 		s.WriteRequests += int64(len(chunks))
 		s.BytesWritten += l.modelBytes(elems)
 		s.Seconds += seconds
+		for _, c := range chunks {
+			s.WriteSizes.Observe(l.modelBytes(c.Len))
+		}
 	}
 	return seconds, nil
 }

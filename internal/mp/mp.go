@@ -346,6 +346,8 @@ func (p *Proc) AllToAll(tag int, parts [][]float64) [][]float64 {
 	for i := 1; i < size; i++ {
 		dst := (p.rank + i) % size
 		src := (p.rank - i + size) % size
+		p.stats.Comm.ShuffleMessages++
+		p.stats.Comm.ShuffleBytes += int64(len(parts[dst])) * int64(p.m.cfg.ElemSize)
 		p.Send(dst, internalTagBase+tag, parts[dst])
 		out[src] = p.Recv(src, internalTagBase+tag)
 	}

@@ -10,6 +10,7 @@ package oocarray
 import (
 	"fmt"
 
+	"github.com/ooc-hpf/passion/internal/collio"
 	"github.com/ooc-hpf/passion/internal/dist"
 	"github.com/ooc-hpf/passion/internal/iosim"
 	"github.com/ooc-hpf/passion/internal/matrix"
@@ -151,6 +152,18 @@ func (a *Array) charge(kind string, seconds float64) {
 	a.spans.Record(a.proc, kind, a.Name(), start, a.clock.Seconds())
 }
 
+// collioSide exposes the array to the collective I/O layer.
+func (a *Array) collioSide() collio.Side {
+	return collio.Side{
+		Map:    a.dmap,
+		LAF:    a.laf,
+		Rank:   a.proc,
+		Rows:   a.rows,
+		Cols:   a.cols,
+		Charge: a.charge,
+	}
+}
+
 // ---------------------------------------------------------------------------
 // Slab geometry
 
@@ -271,8 +284,8 @@ func (a *Array) readSectionRaw(r0, c0, h, w int) (*ICLA, float64, error) {
 	icla := &ICLA{RowOff: r0, ColOff: c0, Rows: h, Cols: w, Data: make([]float64, h*w)}
 	var sec float64
 	if len(chunks) > 0 {
-		if a.opts.Sieve && len(chunks) > 1 {
-			sec, err = a.laf.ReadChunksSieved(chunks, icla.Data)
+		if a.opts.Sieve {
+			sec, err = collio.AggregateRead(a.laf, chunks, icla.Data)
 		} else {
 			sec, err = a.laf.ReadChunks(chunks, icla.Data)
 		}
@@ -307,8 +320,8 @@ func (a *Array) writeSectionRaw(s *ICLA) (float64, error) {
 	if len(chunks) == 0 {
 		return 0, nil
 	}
-	if a.opts.Sieve && len(chunks) > 1 {
-		return a.laf.WriteChunksSieved(chunks, s.Data)
+	if a.opts.Sieve {
+		return collio.AggregateWrite(a.laf, chunks, s.Data)
 	}
 	return a.laf.WriteChunks(chunks, s.Data)
 }

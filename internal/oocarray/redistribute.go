@@ -3,7 +3,7 @@ package oocarray
 import (
 	"fmt"
 
-	"github.com/ooc-hpf/passion/internal/matrix"
+	"github.com/ooc-hpf/passion/internal/collio"
 	"github.com/ooc-hpf/passion/internal/mp"
 )
 
@@ -14,12 +14,15 @@ import (
 // data to the local array files".
 //
 // Every processor of the machine must call Redistribute collectively with
-// its own src/dst local arrays. Source data is read slab by slab within
-// the memElems memory budget; the destination local array is staged in
-// memory and written out slab by slab at the end (two-phase scheme), so
-// the transient memory requirement is O(local destination size).
+// its own src/dst local arrays. The transfer runs over the collective
+// two-phase I/O layer (internal/collio): source data is read in large
+// contiguous column slabs within the memElems budget, shuffled to the
+// destination owners through mp.AllToAll, and staged into destination
+// windows that are flushed with one contiguous write each — so both the
+// transient memory and every individual disk request stay within the
+// budget regardless of the local array sizes.
 func Redistribute(p *mp.Proc, src, dst *Array, memElems, tag int) error {
-	return RedistributeMapped(p, src, dst, memElems, tag, nil)
+	return RedistributeVia(p, src, dst, memElems, tag, nil, collio.TwoPhase)
 }
 
 // RedistributeMapped is Redistribute with an index transform: global
@@ -27,67 +30,15 @@ func Redistribute(p *mp.Proc, src, dst *Array, memElems, tag int) error {
 // index space. A nil transform is the identity (plain redistribution);
 // swapping the indices yields an out-of-core transpose.
 func RedistributeMapped(p *mp.Proc, src, dst *Array, memElems, tag int, transform func(gi, gj int) (int, int)) error {
+	return RedistributeVia(p, src, dst, memElems, tag, transform, collio.TwoPhase)
+}
+
+// RedistributeVia is RedistributeMapped with an explicit destination
+// write strategy, letting the compiler's cost model pick among direct,
+// sieved and two-phase writes per statement.
+func RedistributeVia(p *mp.Proc, src, dst *Array, memElems, tag int, transform func(gi, gj int) (int, int), method collio.Method) error {
 	if src.proc != p.Rank() || dst.proc != p.Rank() {
 		return fmt.Errorf("oocarray: redistribute on rank %d with arrays of procs %d/%d", p.Rank(), src.proc, dst.proc)
 	}
-	if transform == nil {
-		ss, ds := src.dmap.GlobalShape(), dst.dmap.GlobalShape()
-		if ss[0] != ds[0] || ss[1] != ds[1] {
-			return fmt.Errorf("oocarray: redistribute shape mismatch %v vs %v", ss, ds)
-		}
-		transform = func(gi, gj int) (int, int) { return gi, gj }
-	}
-
-	// All processors must run the same number of communication rounds
-	// even when their local slab counts differ (ragged distributions).
-	slb := src.Slabbing(ByColumn, memElems)
-	rounds := int(p.AllReduceMax(tag, []float64{float64(slb.Count)})[0])
-
-	size := p.Size()
-	staged := matrix.New(dst.rows, dst.cols)
-	reader := src.NewSlabReader(slb)
-	for round := 0; round < rounds; round++ {
-		parts := make([][]float64, size)
-		icla, ok, err := reader.Next()
-		if err != nil {
-			return err
-		}
-		if ok {
-			for lj := 0; lj < icla.Cols; lj++ {
-				for li := 0; li < icla.Rows; li++ {
-					gi, gj := src.GlobalIndex(icla.RowOff+li, icla.ColOff+lj)
-					di, dj := transform(gi, gj)
-					owner := dst.dmap.Owner(di, dj)
-					parts[owner] = append(parts[owner], float64(di), float64(dj), icla.At(li, lj))
-				}
-			}
-		}
-		incoming := p.AllToAll(tag, parts)
-		for _, buf := range incoming {
-			if len(buf)%3 != 0 {
-				return fmt.Errorf("oocarray: redistribute payload length %d not a multiple of 3", len(buf))
-			}
-			for i := 0; i < len(buf); i += 3 {
-				di, dj := int(buf[i]), int(buf[i+1])
-				_, local := dst.dmap.ToLocal(di, dj)
-				staged.Set(local[0], local[1], buf[i+2])
-			}
-		}
-	}
-
-	// Phase 2: write the staged destination out slab by slab.
-	out := dst.Slabbing(ByColumn, memElems)
-	for s := 0; s < out.Count; s++ {
-		icla, err := dst.NewSlab(out, s)
-		if err != nil {
-			return err
-		}
-		for lj := 0; lj < icla.Cols; lj++ {
-			copy(icla.Col(lj), staged.Col(icla.ColOff+lj))
-		}
-		if err := dst.WriteSection(icla); err != nil {
-			return err
-		}
-	}
-	return nil
+	return collio.Redistribute(p, src.collioSide(), dst.collioSide(), memElems, tag, transform, method)
 }

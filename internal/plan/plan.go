@@ -220,6 +220,19 @@ type SumStore struct {
 // ResetCounter clears the implicit global column counter.
 type ResetCounter struct{}
 
+// Redistribute copies Src into Dst under Dst's mapping through the
+// collective I/O layer (internal/collio); with Transpose set the global
+// indices are swapped, yielding an out-of-core transpose. Method is the
+// cost model's choice of destination write strategy ("direct", "sieved"
+// or "two-phase") and MemElems the per-processor memory budget of the
+// collective.
+type Redistribute struct {
+	Src, Dst  string
+	Transpose bool
+	Method    string
+	MemElems  int
+}
+
 func (*Loop) node()         {}
 func (*ReadSlab) node()     {}
 func (*NewStaging) node()   {}
@@ -230,6 +243,7 @@ func (*ZeroVec) node()      {}
 func (*Axpy) node()         {}
 func (*SumStore) node()     {}
 func (*ResetCounter) node() {}
+func (*Redistribute) node() {}
 
 // ---------------------------------------------------------------------------
 // Pretty printing
@@ -311,6 +325,16 @@ func (n *SumStore) Pretty(indent int) string {
 // Pretty renders the counter reset.
 func (n *ResetCounter) Pretty(indent int) string {
 	return fmt.Sprintf("%sglobal_index = 0\n", pad(indent))
+}
+
+// Pretty renders the collective redistribution.
+func (n *Redistribute) Pretty(indent int) string {
+	op := "redistribute"
+	if n.Transpose {
+		op = "transpose"
+	}
+	return fmt.Sprintf("%scall collective_%s(%s -> %s, method=%s, mem=%d)\n",
+		pad(indent), op, n.Src, n.Dst, n.Method, n.MemElems)
 }
 
 // String renders the whole program as annotated pseudo-code.

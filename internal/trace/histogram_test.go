@@ -1,0 +1,81 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestHistogramBucketing(t *testing.T) {
+	var h SizeHistogram
+	h.Observe(0) // clamps into the first bucket
+	h.Observe(1)
+	h.Observe(2)
+	h.Observe(3)
+	h.Observe(4)
+	h.Observe(1 << 40)    // beyond the last bucket: clamps
+	if h.Counts[0] != 2 { // 0 and 1
+		t.Errorf("bucket 0 = %d", h.Counts[0])
+	}
+	if h.Counts[1] != 1 { // 2
+		t.Errorf("bucket 1 = %d", h.Counts[1])
+	}
+	if h.Counts[2] != 2 { // 3 and 4
+		t.Errorf("bucket 2 = %d", h.Counts[2])
+	}
+	if h.Counts[HistBuckets-1] != 1 {
+		t.Errorf("overflow bucket = %d", h.Counts[HistBuckets-1])
+	}
+	if h.Total() != 6 {
+		t.Errorf("total = %d", h.Total())
+	}
+}
+
+func TestHistogramAddAndMax(t *testing.T) {
+	var a, b SizeHistogram
+	a.Observe(512)
+	a.Observe(512)
+	b.Observe(512)
+	b.Observe(4096)
+	sum := a
+	sum.Add(b)
+	if sum.Total() != 4 {
+		t.Errorf("sum total = %d", sum.Total())
+	}
+	m := a
+	m.MaxOf(b)
+	if m.Total() != 3 { // max(2,1) in the 512 bucket + max(0,1) at 4096
+		t.Errorf("max total = %d", m.Total())
+	}
+}
+
+func TestHistogramString(t *testing.T) {
+	var h SizeHistogram
+	if h.String() != "-" {
+		t.Errorf("empty histogram renders %q", h.String())
+	}
+	h.Observe(300)
+	h.Observe(5 << 20)
+	s := h.String()
+	if !strings.Contains(s, "<=512B:1") || !strings.Contains(s, "<=8MiB:1") {
+		t.Errorf("rendered %q", s)
+	}
+}
+
+func TestIOStatsFoldsHistograms(t *testing.T) {
+	var a, b IOStats
+	a.ReadSizes.Observe(100)
+	b.ReadSizes.Observe(100)
+	b.WriteSizes.Observe(200)
+	a.Add(b)
+	if a.ReadSizes.Total() != 2 || a.WriteSizes.Total() != 1 {
+		t.Errorf("folded totals: reads %d writes %d", a.ReadSizes.Total(), a.WriteSizes.Total())
+	}
+}
+
+func TestCommStatsFoldsShuffle(t *testing.T) {
+	a := CommStats{ShuffleMessages: 2, ShuffleBytes: 100}
+	a.Add(CommStats{ShuffleMessages: 3, ShuffleBytes: 50})
+	if a.ShuffleMessages != 5 || a.ShuffleBytes != 150 {
+		t.Errorf("folded shuffle: %+v", a)
+	}
+}

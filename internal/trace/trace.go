@@ -7,8 +7,100 @@ package trace
 import (
 	"encoding/json"
 	"fmt"
+	"math/bits"
 	"strings"
 )
+
+// HistBuckets is the number of power-of-two size classes tracked by
+// SizeHistogram. Bucket i counts requests of at most 2^i bytes, so the
+// last bucket (2^27 = 128 MiB) comfortably covers any single request the
+// simulated machine can issue.
+const HistBuckets = 28
+
+// SizeHistogram classifies I/O requests by size into power-of-two byte
+// buckets. Totals alone cannot show aggregation wins — replacing 1024
+// 4-byte requests with one 4 KiB request leaves the volume unchanged —
+// but the histogram makes the shift from many small to few large
+// requests directly visible.
+type SizeHistogram struct {
+	Counts [HistBuckets]int64
+}
+
+// histBucket returns the bucket index for a request of the given size:
+// the smallest i with bytes <= 2^i.
+func histBucket(bytes int64) int {
+	if bytes <= 1 {
+		return 0
+	}
+	b := bits.Len64(uint64(bytes - 1))
+	if b >= HistBuckets {
+		b = HistBuckets - 1
+	}
+	return b
+}
+
+// Observe records one request of the given size in bytes.
+func (h *SizeHistogram) Observe(bytes int64) {
+	h.Counts[histBucket(bytes)]++
+}
+
+// Add accumulates other into h.
+func (h *SizeHistogram) Add(other SizeHistogram) {
+	for i := range h.Counts {
+		h.Counts[i] += other.Counts[i]
+	}
+}
+
+// MaxOf raises each bucket of h to the larger of the two counts.
+func (h *SizeHistogram) MaxOf(other SizeHistogram) {
+	for i := range h.Counts {
+		if other.Counts[i] > h.Counts[i] {
+			h.Counts[i] = other.Counts[i]
+		}
+	}
+}
+
+// Total returns the number of requests recorded.
+func (h SizeHistogram) Total() int64 {
+	var t int64
+	for _, c := range h.Counts {
+		t += c
+	}
+	return t
+}
+
+// histLabel renders the upper bound of bucket i compactly ("512B",
+// "4KiB", "2MiB").
+func histLabel(i int) string {
+	size := int64(1) << i
+	switch {
+	case size >= 1<<20:
+		return fmt.Sprintf("%dMiB", size>>20)
+	case size >= 1<<10:
+		return fmt.Sprintf("%dKiB", size>>10)
+	default:
+		return fmt.Sprintf("%dB", size)
+	}
+}
+
+// String renders the non-empty buckets as "<=4KiB:12 <=1MiB:3", or "-"
+// when nothing was recorded.
+func (h SizeHistogram) String() string {
+	var b strings.Builder
+	for i, c := range h.Counts {
+		if c == 0 {
+			continue
+		}
+		if b.Len() > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "<=%s:%d", histLabel(i), c)
+	}
+	if b.Len() == 0 {
+		return "-"
+	}
+	return b.String()
+}
 
 // IOStats counts disk activity for one processor.
 type IOStats struct {
@@ -44,6 +136,12 @@ type IOStats struct {
 	// GiveUps counts operations that exhausted the retry budget and
 	// failed permanently.
 	GiveUps int64
+
+	// ReadSizes and WriteSizes classify every physical request by its
+	// size, so the effect of request aggregation (sieving, collective
+	// two-phase I/O) shows up beyond the request totals.
+	ReadSizes  SizeHistogram
+	WriteSizes SizeHistogram
 }
 
 // Add accumulates other into s.
@@ -59,6 +157,8 @@ func (s *IOStats) Add(other IOStats) {
 	s.RetrySeconds += other.RetrySeconds
 	s.Corruptions += other.Corruptions
 	s.GiveUps += other.GiveUps
+	s.ReadSizes.Add(other.ReadSizes)
+	s.WriteSizes.Add(other.WriteSizes)
 }
 
 // Requests returns the total physical request count.
@@ -73,6 +173,13 @@ type CommStats struct {
 	BytesSent    int64
 	Collectives  int64
 	Seconds      float64
+
+	// ShuffleMessages and ShuffleBytes count the subset of traffic
+	// exchanged through AllToAll — the in-memory shuffle phase of
+	// collective two-phase I/O — so its volume can be weighed against
+	// the I/O requests it saves.
+	ShuffleMessages int64
+	ShuffleBytes    int64
 }
 
 // Add accumulates other into s.
@@ -81,6 +188,8 @@ func (s *CommStats) Add(other CommStats) {
 	s.BytesSent += other.BytesSent
 	s.Collectives += other.Collectives
 	s.Seconds += other.Seconds
+	s.ShuffleMessages += other.ShuffleMessages
+	s.ShuffleBytes += other.ShuffleBytes
 }
 
 // ProcStats aggregates all activity of one processor.
@@ -178,6 +287,8 @@ func (s *Stats) MaxIO() IOStats {
 		if p.IO.GiveUps > m.GiveUps {
 			m.GiveUps = p.IO.GiveUps
 		}
+		m.ReadSizes.MaxOf(p.IO.ReadSizes)
+		m.WriteSizes.MaxOf(p.IO.WriteSizes)
 	}
 	return m
 }
