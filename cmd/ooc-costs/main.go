@@ -20,6 +20,7 @@ func main() {
 		procsList = flag.String("procs", "4,16,32,64", "comma-separated processor counts")
 		ratioList = flag.String("ratios", "8,4,2,1", "comma-separated slab-ratio denominators")
 		sieve     = flag.Bool("sieve", false, "model row slabs with data sieving")
+		parity    = flag.Bool("parity", false, "also price the candidates with parity-protected output files")
 	)
 	flag.Parse()
 
@@ -71,6 +72,30 @@ func main() {
 	}
 	fmt.Println("\nTranspose candidates share the contiguous source reads and the all-to-all")
 	fmt.Println("shuffle; they differ in the destination write strategy (see internal/collio).")
+
+	if *parity {
+		fmt.Printf("\nParity protection overhead, %dx%d GAXPY (per-processor, read-modify-write on the output stream)\n", *n, *n)
+		fmt.Printf("%-5s %-6s %-12s %12s %12s %12s %12s %9s\n",
+			"P", "ratio", "candidate", "base reqs", "+parity reqs", "base s", "protected s", "overhead")
+		for _, p := range procs {
+			mach := sim.Delta(p)
+			for _, r := range ratios {
+				ocla := *n * *n / p
+				m := ocla / r
+				g := cost.GaxpyParams{N: *n, P: p, SlabA: m, SlabB: m, SlabC: m, Sieve: *sieve}
+				for _, c := range cost.GaxpyCandidates(g) {
+					base := c.Seconds(mach)
+					o := cost.ParityForCandidate(mach, p, c)
+					fmt.Printf("%-5d %-6s %-12s %12d %12d %11.2fs %11.2fs %8.1f%%\n",
+						p, cliutil.RatioLabel(r), c.Label,
+						c.TotalRequests(), o.Requests(),
+						base, base+o.Seconds(mach), 100*o.Seconds(mach)/base)
+				}
+			}
+		}
+		fmt.Println("\nProtected seconds add the closed-form RMW charge of internal/cost.ParityForCandidate;")
+		fmt.Println("a fault-free run with -parity reproduces these extra requests exactly.")
+	}
 }
 
 func fatal(err error) {

@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"github.com/ooc-hpf/passion/internal/cliutil"
 	"github.com/ooc-hpf/passion/internal/compiler"
@@ -39,12 +40,15 @@ func main() {
 		timeline = flag.Bool("timeline", false, "print an ASCII timeline of compute/communication/I/O")
 		asJSON   = flag.Bool("json", false, "print the execution statistics as JSON")
 
-		chaos        = flag.Float64("chaos", 0, "probability of a transient fault per file operation")
-		chaosCorrupt = flag.Float64("chaos-corrupt", 0, "probability of a flipped bit per file read")
-		chaosSeed    = flag.Int64("chaos-seed", 1, "seed of the deterministic fault injection")
-		retries      = flag.Int("retries", -1, "retry budget per I/O operation (-1: default policy when faults are injected)")
-		checkpoint   = flag.Int("checkpoint", 0, "checkpoint every K eligible slab-loop iterations (0: off)")
-		resume       = flag.Bool("resume", false, "resume from the last checkpoint in -datadir instead of starting fresh")
+		chaos         = flag.Float64("chaos", 0, "probability of a transient fault per file operation")
+		chaosCorrupt  = flag.Float64("chaos-corrupt", 0, "probability of a flipped bit per file read")
+		chaosDiskLoss = flag.Float64("chaos-disk-loss", 0, "probability that a file operation takes down its whole logical disk")
+		loseDisk      = flag.String("lose-disk", "", "lose the disk holding FILE at its OPth operation, as FILE@OP (e.g. c.p1.laf@40)")
+		chaosSeed     = flag.Int64("chaos-seed", 1, "seed of the deterministic fault injection")
+		retries       = flag.Int("retries", -1, "retry budget per I/O operation (-1: default policy when faults are injected)")
+		checkpoint    = flag.Int("checkpoint", 0, "checkpoint every K eligible slab-loop iterations (0: off)")
+		resume        = flag.Bool("resume", false, "resume from the last checkpoint in -datadir instead of starting fresh")
+		parity        = flag.Bool("parity", false, "protect local array files with rotated XOR parity (survives one lost disk)")
 	)
 	flag.Parse()
 
@@ -78,12 +82,28 @@ func main() {
 		fatal(fmt.Errorf("-resume needs -datadir: an in-memory run leaves no checkpoint behind"))
 	}
 
+	var schedule []iosim.ScheduledFault
+	if *loseDisk != "" {
+		var file string
+		var op int64
+		if k := strings.LastIndex(*loseDisk, "@"); k > 0 {
+			file = (*loseDisk)[:k]
+			if _, err := fmt.Sscanf((*loseDisk)[k+1:], "%d", &op); err != nil {
+				fatal(fmt.Errorf("-lose-disk: bad operation index in %q", *loseDisk))
+			}
+		} else {
+			fatal(fmt.Errorf("-lose-disk wants FILE@OP, got %q", *loseDisk))
+		}
+		schedule = append(schedule, iosim.ScheduledFault{File: file, Op: op, Kind: iosim.KindDiskLoss})
+	}
 	var chaosFS *iosim.ChaosFS
-	if *chaos > 0 || *chaosCorrupt > 0 {
+	if *chaos > 0 || *chaosCorrupt > 0 || *chaosDiskLoss > 0 || len(schedule) > 0 {
 		chaosFS = iosim.NewChaosFS(fs, iosim.ChaosConfig{
 			Seed:       *chaosSeed,
 			PTransient: *chaos,
 			PCorrupt:   *chaosCorrupt,
+			PDiskLoss:  *chaosDiskLoss,
+			Schedule:   schedule,
 		})
 		fs = chaosFS
 	}
@@ -125,6 +145,7 @@ func main() {
 		Spans:      spans,
 		Resilience: resil,
 		Checkpoint: ckpt,
+		Parity:     *parity,
 	}
 	runner := exec.Run
 	if *resume {
@@ -133,16 +154,31 @@ func main() {
 	out, err := runner(res.Program, sim.Delta(res.Program.Procs), eopts)
 	if chaosFS != nil {
 		c := chaosFS.Counts()
-		fmt.Printf("chaos: %d ops, injected %d transient, %d permanent, %d corruptions, %d short reads, %d short writes\n",
-			c.Ops, c.Transient, c.Permanent, c.Corruptions, c.ShortReads, c.ShortWrites)
+		fmt.Printf("chaos: %d ops, injected %d transient, %d permanent, %d corruptions, %d short reads, %d short writes, %d disk losses\n",
+			c.Ops, c.Transient, c.Permanent, c.Corruptions, c.ShortReads, c.ShortWrites, c.DiskLosses)
 	}
 	if err != nil {
-		fatal(err)
+		fatalChain(err)
 	}
 	if resil != nil {
 		io := out.Stats.TotalIO()
 		fmt.Printf("resilience: %d retries (%.4fs simulated backoff), %d corruptions detected, %d give-ups\n",
 			io.Retries, io.RetrySeconds, io.Corruptions, io.GiveUps)
+	}
+	if *parity {
+		io := out.Stats.TotalIO()
+		comm := out.Stats.TotalComm()
+		fmt.Printf("parity: %d reads, %d writes (%s in, %s out) of redundancy maintenance\n",
+			io.ParityReads, io.ParityWrites,
+			cliutil.FormatBytes(io.ParityBytesRead), cliutil.FormatBytes(io.ParityBytesWritten))
+		if io.Reconstructions > 0 || io.ParityRebuilds > 0 {
+			fmt.Printf("recovery: %d files reconstructed (%d blocks, %s) via %d gather messages (%s); %d parity blocks rebuilt\n",
+				io.Reconstructions, io.ReconstructedBlocks, cliutil.FormatBytes(io.ReconstructedBytes),
+				comm.RecoveryMessages, cliutil.FormatBytes(comm.RecoveryBytes), io.ParityRebuilds)
+		}
+		if ps := out.ParityStore(); ps != nil && ps.Degraded() {
+			fmt.Println("recovery: the run survived in degraded mode; full redundancy was rebuilt before completion")
+		}
 	}
 	if spans != nil {
 		fmt.Print(spans.Gantt(res.Program.Procs, 100))
@@ -206,5 +242,17 @@ func main() {
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "ooc-run:", err)
+	os.Exit(1)
+}
+
+// fatalChain reports an unrecoverable execution error and exits non-zero.
+// Joined fault chains (errors.Join of the original fault and everything
+// the recovery path ran into) print one cause per line, so the full
+// failure story survives into the exit message.
+func fatalChain(err error) {
+	fmt.Fprintln(os.Stderr, "ooc-run: unrecoverable:")
+	for _, line := range strings.Split(err.Error(), "\n") {
+		fmt.Fprintln(os.Stderr, "  "+line)
+	}
 	os.Exit(1)
 }

@@ -91,7 +91,7 @@ func (s *Session) CompileAndRun(source string, copts compiler.Options, eopts exe
 }
 
 // Experiment names every reproducible artifact of the paper.
-var ExperimentNames = []string{"fig10", "table1", "table2", "eqcheck", "ablations", "compiled", "lu", "twophase"}
+var ExperimentNames = []string{"fig10", "table1", "table2", "eqcheck", "ablations", "compiled", "lu", "twophase", "disksurvival"}
 
 // RunExperiment regenerates the named table or figure and returns its
 // formatted text (plus CSV where available).
@@ -150,6 +150,15 @@ func RunExperiment(name string, p experiments.Params) (text, csv string, err err
 		if !r.AllBitwise() || !r.AllExact() || !r.SelectionAgrees() {
 			return r.Format(), r.CSV(), fmt.Errorf("core: twophase validation failed (bitwise=%v exact=%v selection=%v)",
 				r.AllBitwise(), r.AllExact(), r.SelectionAgrees())
+		}
+		return r.Format(), r.CSV(), nil
+	case "disksurvival":
+		r, err := experiments.DiskSurvival(p)
+		if err != nil {
+			return "", "", err
+		}
+		if gerr := r.Gate(); gerr != nil {
+			return r.Format(), r.CSV(), fmt.Errorf("core: disksurvival validation failed: %w", gerr)
 		}
 		return r.Format(), r.CSV(), nil
 	default:

@@ -1,0 +1,145 @@
+package cost
+
+import (
+	"github.com/ooc-hpf/passion/internal/iosim"
+	"github.com/ooc-hpf/passion/internal/sim"
+)
+
+// ParityOverhead is the closed-form prediction of the extra traffic the
+// parity layer (internal/parity) charges for a write pattern: the
+// old-data reads, parity-block reads and parity-block writes of its
+// read-modify-write cycles. Counts are disk requests; byte totals are in
+// cost-model bytes (ElemSize per element), the scale every other counter
+// uses. The formulas mirror the runtime's accounting exactly, so a
+// fault-free protected run must reproduce them to the digit — the
+// disksurvival experiment gates on that equality.
+type ParityOverhead struct {
+	// Reads counts extra read requests: one widened old-data read plus
+	// one coalesced parity-run read per touched parity rank, per write.
+	Reads int64
+	// Writes counts parity write-back requests: one per touched parity
+	// rank, per write.
+	Writes int64
+	// BytesRead is the model-byte volume of old data and parity read.
+	BytesRead int64
+	// BytesWritten is the model-byte volume of parity written back.
+	BytesWritten int64
+}
+
+// Add sums two overheads.
+func (o ParityOverhead) Add(p ParityOverhead) ParityOverhead {
+	return ParityOverhead{
+		Reads:        o.Reads + p.Reads,
+		Writes:       o.Writes + p.Writes,
+		BytesRead:    o.BytesRead + p.BytesRead,
+		BytesWritten: o.BytesWritten + p.BytesWritten,
+	}
+}
+
+// Scale multiplies an overhead by a repetition count.
+func (o ParityOverhead) Scale(n int64) ParityOverhead {
+	return ParityOverhead{
+		Reads:        o.Reads * n,
+		Writes:       o.Writes * n,
+		BytesRead:    o.BytesRead * n,
+		BytesWritten: o.BytesWritten * n,
+	}
+}
+
+// Requests returns the total extra disk requests.
+func (o ParityOverhead) Requests() int64 { return o.Reads + o.Writes }
+
+// Bytes returns the total extra model bytes moved.
+func (o ParityOverhead) Bytes() int64 { return o.BytesRead + o.BytesWritten }
+
+// Seconds prices the overhead with the machine's I/O timing rule. IOTime
+// is linear in requests and bytes, so summing per-write charges equals
+// one charge over the totals — this matches the runtime to the digit.
+func (o ParityOverhead) Seconds(cfg sim.Config) float64 {
+	return cfg.IOTime(int(o.Requests()), o.Bytes())
+}
+
+// modelBytes rescales physical file bytes (FileElemBytes per element) to
+// cost-model bytes (ElemSize per element). Both element sizes divide the
+// parity block size, so the conversion is exact.
+func modelBytes(cfg sim.Config, fileBytes int64) int64 {
+	return fileBytes * int64(cfg.ElemSize) / iosim.FileElemBytes
+}
+
+// ParityForRun predicts the parity overhead of one contiguous write of n
+// elements at element offset off into a protected file of fileElems
+// elements, striped over procs disks:
+//
+//	nb = parity blocks covered by the write, widened to block boundaries
+//	R  = distinct parity ranks touched = min(nb, procs-1)
+//
+// charging 1+R reads (widened old data + one coalesced parity run per
+// rank), R writes, and moving widened + nb blocks inward and nb blocks
+// outward. With fewer than two disks there is no redundancy and the
+// overhead is zero.
+func ParityForRun(cfg sim.Config, procs int, fileElems, off, n int64) ParityOverhead {
+	if procs < 2 || n <= 0 {
+		return ParityOverhead{}
+	}
+	const block = iosim.ChecksumBlockBytes
+	fileBytes := fileElems * iosim.FileElemBytes
+	byteOff := off * iosim.FileElemBytes
+	lo := byteOff / block * block
+	hi := (byteOff + n*iosim.FileElemBytes + block - 1) / block * block
+	if hi > fileBytes {
+		hi = fileBytes
+	}
+	nb := (hi - lo + block - 1) / block
+	r := nb
+	if max := int64(procs - 1); r > max {
+		r = max
+	}
+	return ParityOverhead{
+		Reads:        1 + r,
+		Writes:       r,
+		BytesRead:    modelBytes(cfg, hi-lo) + modelBytes(cfg, nb*block),
+		BytesWritten: modelBytes(cfg, nb*block),
+	}
+}
+
+// ParityForStream predicts the parity overhead of writing a whole
+// protected file of fileElems elements as a sequence of contiguous slabs
+// of slabElems elements (the write pattern of a sequential out-of-core
+// output stream, e.g. GAXPY's result array under the column-slab
+// schedule).
+func ParityForStream(cfg sim.Config, procs int, fileElems, slabElems int64) ParityOverhead {
+	var o ParityOverhead
+	if slabElems <= 0 {
+		slabElems = fileElems
+	}
+	for off := int64(0); off < fileElems; off += slabElems {
+		n := slabElems
+		if rest := fileElems - off; n > rest {
+			n = rest
+		}
+		o = o.Add(ParityForRun(cfg, procs, fileElems, off, n))
+	}
+	return o
+}
+
+// ParityForCandidate sums the parity overhead of every write stream and
+// write tally of a candidate schedule, predicting the cost of running it
+// with parity protection enabled. Tallies (whose write geometry is not
+// derivable from a slab shape) are approximated as one contiguous run per
+// fetch of Elems/Fetches elements.
+func ParityForCandidate(cfg sim.Config, procs int, c Candidate) ParityOverhead {
+	var o ParityOverhead
+	for _, s := range c.Streams {
+		if !s.Write {
+			continue
+		}
+		o = o.Add(ParityForStream(cfg, procs, s.OCLAElems, s.SlabElems).Scale(s.Passes))
+	}
+	for _, t := range c.Tallies {
+		if !t.Write || t.Fetches == 0 {
+			continue
+		}
+		o = o.Add(ParityForStream(cfg, procs, t.Elems, (t.Elems+t.Fetches-1)/t.Fetches))
+	}
+	return o
+}

@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
+	iofs "io/fs"
 	"math"
 
 	"github.com/ooc-hpf/passion/internal/iosim"
@@ -399,18 +400,30 @@ func loadResumeManifests(fs iosim.FS, spec *CheckpointSpec, procs int) ([]*ckptM
 }
 
 // removeCheckpointFiles deletes every checkpoint artifact of the program
-// (manifests and snapshots, both slots), ignoring missing files.
-func removeCheckpointFiles(fs iosim.FS, p *plan.Program, spec *CheckpointSpec) {
+// (manifests and snapshots, both slots). Missing files are expected — the
+// run may have checkpointed fewer epochs than there are slots — but any
+// other removal failure is returned, joined, so failed GC of stale
+// snapshots is visible to the caller instead of silently leaking files.
+func removeCheckpointFiles(fs iosim.FS, p *plan.Program, spec *CheckpointSpec) error {
 	if spec == nil {
-		return
+		return nil
 	}
+	remove := func(name string) error {
+		err := fs.Remove(name)
+		if err == nil || errors.Is(err, iofs.ErrNotExist) {
+			return nil
+		}
+		return err
+	}
+	var errs []error
 	arrays := mutatedArrays(p.Body)
 	for rank := 0; rank < p.Procs; rank++ {
 		for slot := 0; slot < ckptSlots; slot++ {
-			fs.Remove(spec.manifestName(rank, slot))
+			errs = append(errs, remove(spec.manifestName(rank, slot)))
 			for _, name := range arrays {
-				fs.Remove(spec.snapshotName(name, rank, slot))
+				errs = append(errs, remove(spec.snapshotName(name, rank, slot)))
 			}
 		}
 	}
+	return errors.Join(errs...)
 }

@@ -13,6 +13,7 @@ import (
 	"github.com/ooc-hpf/passion/internal/matrix"
 	"github.com/ooc-hpf/passion/internal/mp"
 	"github.com/ooc-hpf/passion/internal/oocarray"
+	"github.com/ooc-hpf/passion/internal/parity"
 	"github.com/ooc-hpf/passion/internal/plan"
 	"github.com/ooc-hpf/passion/internal/sim"
 	"github.com/ooc-hpf/passion/internal/trace"
@@ -46,6 +47,13 @@ type Options struct {
 	// changes the error-path cleanup: the run's files are kept on disk so
 	// the checkpoint stays usable.
 	Checkpoint *CheckpointSpec
+	// Parity protects every local array file with RAID-5-style rotated
+	// XOR parity (internal/parity): a permanently failed or lost file is
+	// reconstructed online from the surviving disks and the run finishes
+	// in degraded mode, with full redundancy rebuilt before the run is
+	// declared complete. Parity maintenance is charged to the simulated
+	// clocks and surfaced in the Parity*/Reconstruct* statistics.
+	Parity bool
 }
 
 // Result is a completed execution.
@@ -62,15 +70,24 @@ type Result struct {
 	phantom bool
 	res     *iosim.Resilience
 	ckpt    *CheckpointSpec
+	pstore  *parity.Store
 }
+
+// ParityStore returns the run's parity store (nil when Options.Parity was
+// off); callers use it to inspect degraded-mode state.
+func (r *Result) ParityStore() *parity.Store { return r.pstore }
 
 // Close removes the run's local array files (and checkpoint artifacts, if
 // any) from the backing store. Call it when the result's file contents
-// are no longer needed; ReadArray stops working afterwards.
+// are no longer needed; ReadArray stops working afterwards. A non-nil
+// error joins every checkpoint-GC failure that was not a missing file, so
+// leaked stale snapshots are visible to the caller.
 func (r *Result) Close() error {
 	removeRunFiles(r.fs, r.Program)
-	removeCheckpointFiles(r.fs, r.Program, r.ckpt)
-	return nil
+	if r.pstore != nil {
+		r.pstore.Close()
+	}
+	return removeCheckpointFiles(r.fs, r.Program, r.ckpt)
 }
 
 // removeRunFiles deletes every local array file the program creates,
@@ -101,6 +118,9 @@ const reduceTag = 11
 
 // redistTag is the tag used by collective redistributions.
 const redistTag = 12
+
+// parityTag is the tag used by the collective parity rebuild barriers.
+const parityTag = 14
 
 // Run executes the program on a machine with the program's processor
 // count.
@@ -135,14 +155,25 @@ func run(p *plan.Program, mach sim.Config, opts Options, resume []*ckptManifest)
 	if fs == nil {
 		fs = iosim.NewMemFS()
 	}
+	var pstore *parity.Store
+	if opts.Parity {
+		pstore = parity.NewStore(fs, mach, p.Procs, opts.Resilience)
+		pstore.SetPhantom(opts.Phantom)
+		for _, spec := range p.Arrays {
+			pstore.Protect(spec.Name)
+		}
+	}
 	perArray := make([]map[string]*trace.IOStats, mach.Procs)
 	stats, err := mp.Run(mach, func(proc *mp.Proc) error {
 		proc.SetSpanLog(opts.Spans)
+		if pstore != nil {
+			pstore.SetCommSink(proc.Rank(), &proc.Stats().Comm)
+		}
 		var man *ckptManifest
 		if resume != nil {
 			man = resume[proc.Rank()]
 		}
-		in, err := newInterp(p, proc, fs, opts, man)
+		in, err := newInterp(p, proc, fs, opts, pstore, man)
 		if err != nil {
 			return err
 		}
@@ -152,7 +183,20 @@ func run(p *plan.Program, mach sim.Config, opts Options, resume []*ckptManifest)
 		if man != nil {
 			startNode, startIter = man.NodeIdx, man.Iter
 		}
+		if man != nil {
+			// Resuming attaches to pre-existing local array files whose
+			// parity may be stale (the crash can have interrupted a
+			// read-modify-write); rebuild redundancy before computing.
+			if err := in.paritySync(); err != nil {
+				return err
+			}
+		}
 		if err := in.runTop(p.Body, startNode, startIter); err != nil {
+			return err
+		}
+		// A degraded run (lost parity during a fault) must restore full
+		// redundancy before the run is declared complete.
+		if err := in.paritySync(); err != nil {
 			return err
 		}
 		// Fold the per-array statistics into the processor total.
@@ -168,11 +212,14 @@ func run(p *plan.Program, mach sim.Config, opts Options, resume []*ckptManifest)
 		// the files are the restart state and are kept.
 		if opts.Checkpoint == nil {
 			removeRunFiles(fs, p)
+			if pstore != nil {
+				pstore.Close()
+			}
 		}
 		return nil, fmt.Errorf("exec: %w", err)
 	}
 	return &Result{Stats: stats, Program: p, PerArray: perArray, fs: fs, mach: mach,
-		phantom: opts.Phantom, res: opts.Resilience, ckpt: opts.Checkpoint}, nil
+		phantom: opts.Phantom, res: opts.Resilience, ckpt: opts.Checkpoint, pstore: pstore}, nil
 }
 
 // ReadArray assembles the named array's global contents from the local
@@ -192,6 +239,9 @@ func (r *Result) ReadArray(name string) (*matrix.Matrix, error) {
 	out := matrix.New(spec.Rows, spec.Cols)
 	for proc := 0; proc < r.Program.Procs; proc++ {
 		disk := iosim.NewResilientDisk(r.fs, r.mach, nil, r.res)
+		if r.pstore != nil {
+			disk.SetParity(r.pstore)
+		}
 		laf, err := disk.OpenLAF(fmt.Sprintf("%s.p%d.laf", name, proc), int64(dm.LocalElems(proc)))
 		if err != nil {
 			return nil, err
@@ -223,6 +273,7 @@ type interp struct {
 	phantom bool
 	fs      iosim.FS
 	res     *iosim.Resilience
+	pstore  *parity.Store
 
 	// ckptSpec/ckptEpoch drive checkpointing; ckptSpec is nil when
 	// checkpointing is off.
@@ -259,13 +310,14 @@ type interp struct {
 	writers map[string]*oocarray.SlabWriter
 }
 
-func newInterp(p *plan.Program, proc *mp.Proc, fs iosim.FS, opts Options, resume *ckptManifest) (*interp, error) {
+func newInterp(p *plan.Program, proc *mp.Proc, fs iosim.FS, opts Options, pstore *parity.Store, resume *ckptManifest) (*interp, error) {
 	in := &interp{
 		prog:       p,
 		proc:       proc,
 		phantom:    opts.Phantom,
 		fs:         fs,
 		res:        opts.Resilience,
+		pstore:     pstore,
 		ckptSpec:   opts.Checkpoint,
 		arrays:     make(map[string]*oocarray.Array),
 		slabbings:  make(map[string]oocarray.Slabbing),
@@ -288,6 +340,9 @@ func newInterp(p *plan.Program, proc *mp.Proc, fs iosim.FS, opts Options, resume
 		in.perArray[spec.Name] = arrStats
 		disk := iosim.NewResilientDisk(fs, proc.Config(), arrStats, opts.Resilience)
 		disk.SetPhantom(opts.Phantom)
+		if pstore != nil {
+			disk.SetParity(pstore)
+		}
 		var arr *oocarray.Array
 		if resume != nil {
 			// Resuming: the local array files already exist; attach to
@@ -325,6 +380,45 @@ func newInterp(p *plan.Program, proc *mp.Proc, fs iosim.FS, opts Options, resume
 	return in, nil
 }
 
+// parityStatsKey is the perArray key that collects the I/O charged to
+// collective parity rebuilds (it is folded into the processor totals like
+// any per-array entry).
+const parityStatsKey = "(parity)"
+
+// paritySync is a collective that restores full redundancy: if any parity
+// group went out of sync (degraded writes, a reconstructed disk's own
+// parity file, or a resumed run attaching to files with untrusted
+// parity), every rank rebuilds the parity files its logical disk hosts.
+// Barriers bracket the rebuild so no rank races a reconstruction against
+// a half-rebuilt parity file, and the dirty flags are cleared only once
+// every rank has finished.
+func (in *interp) paritySync() error {
+	if in.pstore == nil {
+		return nil
+	}
+	in.proc.Barrier(parityTag)
+	var err error
+	if in.pstore.Dirty() {
+		st := in.perArray[parityStatsKey]
+		if st == nil {
+			st = &trace.IOStats{}
+			in.perArray[parityStatsKey] = st
+		}
+		disk := iosim.NewResilientDisk(in.fs, in.proc.Config(), st, in.res)
+		disk.SetPhantom(in.phantom)
+		var sec float64
+		sec, err = in.pstore.RebuildRank(disk, in.proc.Rank())
+		in.proc.Clock().Advance(sec)
+		st.Seconds += sec
+	}
+	in.proc.Barrier(parityTag)
+	if err != nil {
+		return err
+	}
+	in.pstore.ClearDirty()
+	return nil
+}
+
 func (in *interp) close() {
 	for _, w := range in.writers {
 		w.Flush()
@@ -339,6 +433,14 @@ func (in *interp) close() {
 // when checkpointing is on. startIter only applies to the loop at
 // startNode (per-iteration cursors are recorded only for SumStore loops).
 func (in *interp) runTop(body []plan.Node, startNode, startIter int) error {
+	if in.ckptSpec != nil && startNode == 0 && startIter == 0 {
+		// Commit an initial checkpoint at cursor (0,0) so even a program
+		// whose body is a single non-loop node (e.g. one Redistribute) has
+		// an epoch to resume from if it crashes mid-node.
+		if err := in.doCheckpoint(0, 0); err != nil {
+			return err
+		}
+	}
 	for i := startNode; i < len(body); i++ {
 		loop, isLoop := body[i].(*plan.Loop)
 		first := 0

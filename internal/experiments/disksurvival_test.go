@@ -1,0 +1,51 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestDiskSurvivalSweep runs the disk-loss sweep at a reduced scale and
+// asserts the acceptance gates: every injected run completes bitwise
+// identical, reconstruction traffic shows up in the counters, the parity
+// overhead of the fault-free protected run matches the closed form
+// exactly, and the unprotected control fails.
+func TestDiskSurvivalSweep(t *testing.T) {
+	r, err := DiskSurvival(Params{N: 64, Procs: []int{4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gerr := r.Gate(); gerr != nil {
+		t.Fatalf("gate: %v\n%s", gerr, r.Format())
+	}
+	if len(r.Rows) < 6 {
+		t.Fatalf("sweep too small: %d rows", len(r.Rows))
+	}
+	text := r.Format()
+	for _, want := range []string{"gaxpy", "transpose", "closed form", "exact: true"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("Format() missing %q:\n%s", want, text)
+		}
+	}
+	if !strings.Contains(r.CSV(), "program,victim,op") {
+		t.Error("CSV header missing")
+	}
+}
+
+// TestDiskSurvivalDefaultScale runs the experiment at its default N=256
+// configuration — the scale the acceptance criteria name.
+func TestDiskSurvivalDefaultScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("default-scale sweep is slow under -short")
+	}
+	r, err := DiskSurvival(Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.N != 256 || r.Procs != 4 {
+		t.Fatalf("defaults wrong: N=%d procs=%d", r.N, r.Procs)
+	}
+	if gerr := r.Gate(); gerr != nil {
+		t.Fatalf("gate: %v\n%s", gerr, r.Format())
+	}
+}

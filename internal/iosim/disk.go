@@ -9,6 +9,39 @@ import (
 	"github.com/ooc-hpf/passion/internal/trace"
 )
 
+// ParityHook maintains cross-disk redundancy for protected files and
+// reconstructs them after permanent faults (implemented by the
+// internal/parity package and attached per disk by the executor). The
+// disk layer consults it on every file lifecycle event and write, and
+// escalates to Recover when an operation fails with a non-transient
+// error — a lost disk, an injected permanent fault, or an exhausted
+// retry budget.
+type ParityHook interface {
+	// Created registers a freshly created (zero-filled) file of the
+	// given physical byte length.
+	Created(name string, bytes int64)
+	// Opened registers a pre-existing file of the given physical byte
+	// length whose parity state is unknown (e.g. after a restart); the
+	// hook marks its group for a parity resync.
+	Opened(name string, bytes int64)
+	// Removed unregisters a deleted file.
+	Removed(name string)
+	// Protects reports whether the named file is under parity.
+	Protects(name string) bool
+	// WriteThrough performs the data write via write() under the parity
+	// layer's stripe lock and applies the read-modify-write parity
+	// update for the buf bytes written at byteOff. In phantom mode buf
+	// is nil: no data moves, but the parity traffic is still accounted.
+	// It returns the simulated seconds of the data write plus the
+	// parity maintenance.
+	WriteThrough(d *Disk, name string, byteOff int64, n int64, buf []byte, write func() (float64, error)) (float64, error)
+	// Recover reconstructs the named file from the surviving disks
+	// after cause (a non-transient failure), returning the simulated
+	// seconds the reconstruction cost. The caller then reopens the
+	// replacement file and retries the failed operation once.
+	Recover(d *Disk, name string, cause error) (float64, error)
+}
+
 // Disk is one processor's logical disk: a view of the shared I/O subsystem
 // holding that processor's local array files. All cost accounting happens
 // here; the mapping of the logical disk onto physical disks is the
@@ -18,6 +51,7 @@ type Disk struct {
 	cfg     sim.Config
 	stats   *trace.IOStats
 	res     *Resilience
+	parity  ParityHook
 	phantom bool
 }
 
@@ -41,6 +75,16 @@ func (d *Disk) SetResilience(res *Resilience) { d.res = res }
 
 // Resilience returns the attached retry/checksum layer, which may be nil.
 func (d *Disk) Resilience() *Resilience { return d.res }
+
+// SetParity attaches (or, with nil, detaches) the redundancy layer.
+func (d *Disk) SetParity(h ParityHook) { d.parity = h }
+
+// Parity returns the attached redundancy layer, which may be nil.
+func (d *Disk) Parity() ParityHook { return d.parity }
+
+// Config returns the disk's machine model (the parity layer uses it to
+// charge its traffic with the same timing rules as everything else).
+func (d *Disk) Config() sim.Config { return d.cfg }
 
 // retryMeta runs a metadata operation (create/open/remove/truncate) under
 // the retry policy. Metadata retries are counted but not charged to the
@@ -95,6 +139,18 @@ func (d *Disk) CreateLAF(name string, elems int64) (*LAF, error) {
 	if elems < 0 {
 		return nil, fmt.Errorf("iosim: CreateLAF %s: negative size %d", name, elems)
 	}
+	laf, err := d.createLAFOnce(name, elems)
+	if err != nil && !IsTransient(err) && d.parity != nil && d.parity.Protects(name) {
+		// The disk died under the create itself (e.g. a disk loss took the
+		// half-created file with it). The file held no data yet, so there
+		// is nothing to reconstruct: creating again mounts the replacement
+		// disk and starts over.
+		laf, err = d.createLAFOnce(name, elems)
+	}
+	return laf, err
+}
+
+func (d *Disk) createLAFOnce(name string, elems int64) (*LAF, error) {
 	var f File
 	err := d.retryMeta("create", name, func() error {
 		var err error
@@ -105,6 +161,9 @@ func (d *Disk) CreateLAF(name string, elems int64) (*LAF, error) {
 		return nil, err
 	}
 	if d.phantom {
+		if d.parity != nil {
+			d.parity.Created(name, elems*elemBytes)
+		}
 		return &LAF{disk: d, file: f, name: name, elems: elems}, nil
 	}
 	if err := d.retryMeta("truncate", name, func() error { return f.Truncate(elems * elemBytes) }); err != nil {
@@ -116,19 +175,42 @@ func (d *Disk) CreateLAF(name string, elems int64) (*LAF, error) {
 		// verifies from the first read on.
 		d.res.seedZero(name, elems*elemBytes)
 	}
+	if d.parity != nil {
+		d.parity.Created(name, elems*elemBytes)
+	}
 	return &LAF{disk: d, file: f, name: name, elems: elems}, nil
 }
 
-// OpenLAF opens an existing local array file of the given length.
+// OpenLAF opens an existing local array file of the given length. When the
+// file is parity-protected and the open fails permanently (the disk that
+// held it is gone), the file is reconstructed from the surviving disks and
+// the open is retried once; the reconstruction time is charged to the
+// disk's statistics sink.
 func (d *Disk) OpenLAF(name string, elems int64) (*LAF, error) {
 	var f File
-	err := d.retryMeta("open", name, func() error {
-		var err error
-		f, err = d.fs.Open(name)
-		return err
-	})
+	open := func() error {
+		return d.retryMeta("open", name, func() error {
+			var err error
+			f, err = d.fs.Open(name)
+			return err
+		})
+	}
+	err := open()
+	if err != nil && !IsTransient(err) && d.parity != nil && d.parity.Protects(name) {
+		sec, rerr := d.parity.Recover(d, name, err)
+		if s := d.stats; s != nil {
+			s.Seconds += sec
+		}
+		if rerr != nil {
+			return nil, rerr
+		}
+		err = open()
+	}
 	if err != nil {
 		return nil, err
+	}
+	if d.parity != nil {
+		d.parity.Opened(name, elems*elemBytes)
 	}
 	return &LAF{disk: d, file: f, name: name, elems: elems}, nil
 }
@@ -136,8 +218,13 @@ func (d *Disk) OpenLAF(name string, elems int64) (*LAF, error) {
 // RemoveLAF deletes a local array file by name.
 func (d *Disk) RemoveLAF(name string) error {
 	err := d.retryMeta("remove", name, func() error { return d.fs.Remove(name) })
-	if err == nil && d.res != nil {
-		d.res.dropFile(name)
+	if err == nil {
+		if d.res != nil {
+			d.res.dropFile(name)
+		}
+		if d.parity != nil {
+			d.parity.Removed(name)
+		}
 	}
 	return err
 }
@@ -342,9 +429,27 @@ func (l *LAF) WriteAll(src []float64) (float64, error) {
 }
 
 // readRun fetches one contiguous run. It returns the simulated seconds
-// spent in retry backoff (zero on the plain path); the caller folds them
-// into the operation's duration so the clock is charged for recovery.
+// spent in retry backoff and recovery (zero on the plain path); the caller
+// folds them into the operation's duration so the clock is charged for
+// recovery. When the run fails non-transiently on a parity-protected file
+// (lost disk, permanent fault, exhausted retries), the file is
+// reconstructed from the surviving disks and the run retried once.
 func (l *LAF) readRun(c Chunk, dst []float64) (float64, error) {
+	sec, err := l.readRunOnce(c, dst)
+	if err == nil || IsTransient(err) || !l.protected() {
+		return sec, err
+	}
+	rsec, rerr := l.escalate(err)
+	sec += rsec
+	if rerr != nil {
+		return sec, rerr
+	}
+	sec2, err := l.readRunOnce(c, dst)
+	return sec + sec2, err
+}
+
+// readRunOnce is one attempt at a contiguous run, without escalation.
+func (l *LAF) readRunOnce(c Chunk, dst []float64) (float64, error) {
 	if l.disk.phantom || c.Len == 0 {
 		return 0, nil
 	}
@@ -353,6 +458,32 @@ func (l *LAF) readRun(c Chunk, dst []float64) (float64, error) {
 		return 0, l.rawRead(buf, c.Off*elemBytes, func() { decode(dst, buf) })
 	}
 	return l.readRunResilient(c, dst)
+}
+
+// protected reports whether this file is under the parity layer.
+func (l *LAF) protected() bool {
+	return l.disk.parity != nil && l.disk.parity.Protects(l.name)
+}
+
+// escalate reconstructs the file from the surviving disks after cause (a
+// non-transient failure) and swaps in a handle to the replacement file.
+// The returned seconds cover the reconstruction traffic; the caller folds
+// them into the failed operation's duration.
+func (l *LAF) escalate(cause error) (float64, error) {
+	d := l.disk
+	sec, err := d.parity.Recover(d, l.name, cause)
+	if err != nil {
+		return sec, err
+	}
+	f, err := d.fs.Open(l.name)
+	if err != nil {
+		return sec, fmt.Errorf("iosim: reopen %s after reconstruction: %w", l.name, err)
+	}
+	// The old handle points at the lost disk's orphaned image; drop it
+	// without closing (Quiet views may still share it harmlessly — every
+	// subsequent transfer goes through the swapped handle).
+	l.file = f
+	return sec, nil
 }
 
 // rawRead reads exactly len(buf) bytes at off and runs done on success.
@@ -418,17 +549,53 @@ func (l *LAF) readRunResilient(c Chunk, dst []float64) (float64, error) {
 }
 
 // writeRun stores one contiguous run, returning simulated retry backoff
-// like readRun.
+// (plus parity-maintenance and recovery time) like readRun. Writes to
+// parity-protected files are routed through the parity layer's
+// WriteThrough so the parity update happens atomically with the data
+// write; a non-transient failure triggers reconstruction and one retry of
+// the whole protected write.
 func (l *LAF) writeRun(c Chunk, src []float64) (float64, error) {
-	if l.disk.phantom || c.Len == 0 {
+	if c.Len == 0 {
 		return 0, nil
 	}
-	buf := make([]byte, c.Len*elemBytes)
-	encode(buf, src)
+	d := l.disk
 	byteOff := c.Off * elemBytes
+	byteLen := int64(c.Len) * elemBytes
+	if l.protected() {
+		// In phantom mode buf stays nil: WriteThrough accounts the
+		// parity traffic without moving data and never calls write.
+		var buf []byte
+		if !d.phantom {
+			buf = make([]byte, byteLen)
+			encode(buf, src)
+		}
+		write := func() (float64, error) { return l.writeRunOnce(buf, byteOff) }
+		sec, err := d.parity.WriteThrough(d, l.name, byteOff, byteLen, buf, write)
+		if err == nil || IsTransient(err) {
+			return sec, err
+		}
+		rsec, rerr := l.escalate(err)
+		sec += rsec
+		if rerr != nil {
+			return sec, rerr
+		}
+		sec2, err := d.parity.WriteThrough(d, l.name, byteOff, byteLen, buf, write)
+		return sec + sec2, err
+	}
+	if d.phantom {
+		return 0, nil
+	}
+	buf := make([]byte, byteLen)
+	encode(buf, src)
+	return l.writeRunOnce(buf, byteOff)
+}
+
+// writeRunOnce is one attempt at storing encoded bytes, without parity or
+// escalation.
+func (l *LAF) writeRunOnce(buf []byte, byteOff int64) (float64, error) {
 	if l.disk.res == nil {
 		if _, err := l.file.WriteAt(buf, byteOff); err != nil {
-			return 0, fmt.Errorf("iosim: write %s @%d: %w", l.name, c.Off, err)
+			return 0, fmt.Errorf("iosim: write %s @%d: %w", l.name, byteOff/elemBytes, err)
 		}
 		return 0, nil
 	}

@@ -9,6 +9,14 @@ import (
 // (and a convenient sentinel for failure-injection tests).
 var ErrInjected = errors.New("iosim: injected permanent fault")
 
+// ErrDiskLost reports that the logical disk holding the file is gone: a
+// KindDiskLoss fault dropped every file of that disk, and any operation
+// on them fails permanently until a replacement file is created (which
+// the parity layer does when it reconstructs the content from the
+// surviving disks). It wraps ErrInjected so existing fault-injection
+// classification keeps working.
+var ErrDiskLost = fmt.Errorf("iosim: logical disk lost: %w", ErrInjected)
+
 // transienter is the error classification interface of the fault model:
 // an error anywhere in a chain may declare itself transient, meaning a
 // retry of the same operation has a reasonable chance of succeeding

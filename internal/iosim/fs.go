@@ -14,6 +14,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	iofs "io/fs"
 	"math"
 	"os"
 	"path/filepath"
@@ -75,7 +76,7 @@ func (fs *MemFS) Open(name string) (File, error) {
 	defer fs.mu.Unlock()
 	f, ok := fs.files[name]
 	if !ok {
-		return nil, fmt.Errorf("iosim: open %s: no such file", name)
+		return nil, fmt.Errorf("iosim: open %s: %w", name, iofs.ErrNotExist)
 	}
 	return f, nil
 }
@@ -97,7 +98,7 @@ func (fs *MemFS) Remove(name string) error {
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	if _, ok := fs.files[name]; !ok {
-		return fmt.Errorf("iosim: remove %s: no such file", name)
+		return fmt.Errorf("iosim: remove %s: %w", name, iofs.ErrNotExist)
 	}
 	delete(fs.files, name)
 	return nil
@@ -197,6 +198,11 @@ func (fs *OSFS) Remove(name string) error {
 // Element encoding
 
 const elemBytes = 8 // on-file storage size of one float64
+
+// FileElemBytes is the on-file storage size of one element, exported for
+// the layers that reason about physical file bytes rather than cost-model
+// bytes (the parity stripe geometry and its cost closed forms).
+const FileElemBytes = elemBytes
 
 func encode(dst []byte, src []float64) {
 	for i, v := range src {

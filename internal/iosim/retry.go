@@ -25,17 +25,21 @@ func DefaultRetryPolicy() RetryPolicy {
 	return RetryPolicy{MaxRetries: 5, BaseBackoff: 1e-3, MaxBackoff: 16e-3}
 }
 
-// backoff returns the simulated wait before retry `attempt` (0-based).
+// backoff returns the simulated wait before retry `attempt` (0-based):
+// BaseBackoff doubled attempt times, capped at MaxBackoff. A MaxBackoff
+// of zero (or less) means uncapped exponential growth.
+// Backoff returns the simulated backoff, in seconds, charged before
+// re-attempt number attempt+1. It is exported for the parity layer, which
+// runs its own retry loops under the same policy.
+func (p RetryPolicy) Backoff(attempt int) float64 { return p.backoff(attempt) }
+
 func (p RetryPolicy) backoff(attempt int) float64 {
 	b := p.BaseBackoff
-	for i := 0; i < attempt; i++ {
+	for i := 0; i < attempt && (p.MaxBackoff <= 0 || b < p.MaxBackoff); i++ {
 		b *= 2
-		if b >= p.MaxBackoff {
-			return p.MaxBackoff
-		}
 	}
 	if p.MaxBackoff > 0 && b > p.MaxBackoff {
-		return p.MaxBackoff
+		b = p.MaxBackoff
 	}
 	return b
 }
@@ -126,6 +130,32 @@ func (r *Resilience) seedZero(name string, bytes int64) {
 	}
 	r.files[name] = f
 }
+
+// Record replaces the stored checksums for the blocks fully or partially
+// covered by buf (the file bytes at [off, off+len(buf)), with off
+// block-aligned and buf ending either on a block boundary or at end of
+// file). The parity layer uses it to reseed integrity state after
+// reconstructing a file from surviving disks.
+func (r *Resilience) Record(name string, off int64, buf []byte) {
+	for pos := 0; pos < len(buf); pos += ChecksumBlockBytes {
+		end := pos + ChecksumBlockBytes
+		if end > len(buf) {
+			end = len(buf)
+		}
+		block := (off + int64(pos)) / ChecksumBlockBytes
+		r.set(name, block, crc32.ChecksumIEEE(buf[pos:end]))
+	}
+}
+
+// Check verifies buf against the stored checksums like the resilient read
+// path does, returning the first mismatching block and ok == false on a
+// mismatch. Blocks without a stored checksum are skipped.
+func (r *Resilience) Check(name string, off int64, buf []byte) (int64, bool) {
+	return r.verifyBlocks(name, off, buf)
+}
+
+// Forget drops all stored checksums of the named file.
+func (r *Resilience) Forget(name string) { r.dropFile(name) }
 
 // verifyBlocks checks buf (the file bytes at [off, off+len(buf)), with
 // off block-aligned) against the stored checksums. Blocks with no stored

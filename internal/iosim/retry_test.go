@@ -243,12 +243,46 @@ func TestTornWriteRetriedAndChecksummed(t *testing.T) {
 	}
 }
 
-func TestBackoffDoublesAndCaps(t *testing.T) {
-	p := RetryPolicy{MaxRetries: 10, BaseBackoff: 1e-3, MaxBackoff: 4e-3}
-	want := []float64{1e-3, 2e-3, 4e-3, 4e-3, 4e-3}
-	for i, w := range want {
-		if got := p.backoff(i); got != w {
-			t.Fatalf("backoff(%d) = %g, want %g", i, got, w)
+// TestBackoffSequence pins the exact backoff schedule under one cap
+// rule: exponential doubling from BaseBackoff, clamped to MaxBackoff
+// when (and only when) MaxBackoff is positive.
+func TestBackoffSequence(t *testing.T) {
+	cases := []struct {
+		name string
+		pol  RetryPolicy
+		want []float64
+	}{
+		{
+			name: "capped",
+			pol:  RetryPolicy{MaxRetries: 10, BaseBackoff: 1e-3, MaxBackoff: 4e-3},
+			want: []float64{1e-3, 2e-3, 4e-3, 4e-3, 4e-3},
+		},
+		{
+			name: "default policy",
+			pol:  DefaultRetryPolicy(),
+			want: []float64{1e-3, 2e-3, 4e-3, 8e-3, 16e-3, 16e-3, 16e-3},
+		},
+		{
+			name: "unlimited (MaxBackoff=0) keeps doubling",
+			pol:  RetryPolicy{MaxRetries: 10, BaseBackoff: 1e-3},
+			want: []float64{1e-3, 2e-3, 4e-3, 8e-3, 16e-3, 32e-3, 64e-3, 128e-3},
+		},
+		{
+			name: "negative MaxBackoff behaves like unlimited",
+			pol:  RetryPolicy{MaxRetries: 10, BaseBackoff: 1e-3, MaxBackoff: -1},
+			want: []float64{1e-3, 2e-3, 4e-3, 8e-3},
+		},
+		{
+			name: "base above the cap clamps immediately",
+			pol:  RetryPolicy{MaxRetries: 10, BaseBackoff: 8e-3, MaxBackoff: 2e-3},
+			want: []float64{2e-3, 2e-3, 2e-3},
+		},
+	}
+	for _, tc := range cases {
+		for i, w := range tc.want {
+			if got := tc.pol.backoff(i); got != w {
+				t.Fatalf("%s: backoff(%d) = %g, want %g", tc.name, i, got, w)
+			}
 		}
 	}
 }

@@ -1,0 +1,102 @@
+// Package parity adds RAID-5-style redundancy to the local array files of
+// an out-of-core execution. The local array files of one global array —
+// one file per processor — form a parity group striped in fixed-size
+// blocks across the P logical disks. Every stripe holds one data block
+// from each of P-1 disks plus one parity block (their XOR) on the
+// remaining disk, with the parity role rotated across disks so no single
+// disk serializes all parity traffic.
+//
+// The layout is skewed so a disk never holds the parity covering its own
+// data: data block k of rank r lives in stripe
+//
+//	q = k / (P-1),  t = k mod (P-1),  t' = t    if t <  r
+//	                                  t' = t+1  if t >= r
+//	stripe(r, k) = q*P + t'
+//
+// and stripe s is parity-hosted by rank s mod P at block s/P of that
+// rank's parity file. Since t' skips r, the parity rank of every stripe
+// containing a block of rank r differs from r, so the loss of any one
+// logical disk leaves P-1 survivors (P-2 data blocks plus the parity
+// block) from which every lost block is recovered by XOR.
+//
+// Blocks are ChecksumBlockBytes long, aligned with the checksum layer's
+// verification blocks: a write that is clean for checksumming is clean
+// for parity too. Parity files are named "<base>.p<p>.parity" — the
+// ".p<p>." infix places them on rank p's logical disk, so a disk-loss
+// fault takes a disk's parity blocks down with its data blocks, exactly
+// as on a real machine.
+package parity
+
+import (
+	"strconv"
+	"strings"
+
+	"github.com/ooc-hpf/passion/internal/iosim"
+)
+
+// BlockBytes is the parity stripe unit. It equals the checksum block size
+// so parity and checksum block boundaries coincide.
+const BlockBytes = iosim.ChecksumBlockBytes
+
+// StripeOf returns the stripe index covering data block `block` of rank
+// `rank` in a group of procs disks (procs must be >= 2).
+func StripeOf(procs, rank int, block int64) int64 {
+	q := block / int64(procs-1)
+	t := block % int64(procs-1)
+	if t >= int64(rank) {
+		t++
+	}
+	return q*int64(procs) + t
+}
+
+// ParityRankOf returns the rank whose disk hosts the parity block of the
+// given stripe.
+func ParityRankOf(procs int, stripe int64) int {
+	return int(stripe % int64(procs))
+}
+
+// ParityIndexOf returns the block index within the parity rank's parity
+// file where the stripe's parity block lives.
+func ParityIndexOf(procs int, stripe int64) int64 {
+	return stripe / int64(procs)
+}
+
+// DataBlockOf returns the data block index of `rank` covered by the given
+// stripe, or -1 when rank is the stripe's parity rank (it contributes no
+// data block there).
+func DataBlockOf(procs, rank int, stripe int64) int64 {
+	q := stripe / int64(procs)
+	p := stripe % int64(procs)
+	if p == int64(rank) {
+		return -1
+	}
+	if p > int64(rank) {
+		p--
+	}
+	return q*int64(procs-1) + p
+}
+
+// ParityFileName returns the name of the parity file hosted on rank p's
+// logical disk for the named parity group.
+func ParityFileName(base string, p int) string {
+	return base + ".p" + strconv.Itoa(p) + ".parity"
+}
+
+// parseLAF splits a local array file name "<base>.p<rank>.laf" into its
+// group base and rank. Scratch and snapshot files do not match the
+// pattern (or carry a prefixed base) and stay outside parity protection.
+func parseLAF(name string) (base string, rank int, ok bool) {
+	stem, found := strings.CutSuffix(name, ".laf")
+	if !found {
+		return "", 0, false
+	}
+	i := strings.LastIndex(stem, ".p")
+	if i < 0 {
+		return "", 0, false
+	}
+	r, err := strconv.Atoi(stem[i+2:])
+	if err != nil || r < 0 {
+		return "", 0, false
+	}
+	return stem[:i], r, true
+}

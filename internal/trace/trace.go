@@ -137,6 +137,26 @@ type IOStats struct {
 	// failed permanently.
 	GiveUps int64
 
+	// Parity counters: the read-modify-write traffic the RAID-5-style
+	// parity layer adds to each data write (old-data read plus parity
+	// block reads and writes). They are kept separate from the
+	// Read/WriteRequests and byte totals above so the unprotected
+	// accounting stays comparable to the paper's closed forms.
+	ParityReads        int64
+	ParityWrites       int64
+	ParityBytesRead    int64
+	ParityBytesWritten int64
+
+	// Reconstruction counters: degraded-mode recovery of a file whose
+	// disk was lost, rebuilt block-by-block from the surviving disks.
+	Reconstructions     int64 // files reconstructed
+	ReconstructedBlocks int64 // parity stripe units recovered
+	ReconstructedBytes  int64 // bytes of file content recovered
+
+	// ParityRebuilds counts parity blocks recomputed from data (a lost
+	// parity disk being brought back to full redundancy).
+	ParityRebuilds int64
+
 	// ReadSizes and WriteSizes classify every physical request by its
 	// size, so the effect of request aggregation (sieving, collective
 	// two-phase I/O) shows up beyond the request totals.
@@ -157,6 +177,14 @@ func (s *IOStats) Add(other IOStats) {
 	s.RetrySeconds += other.RetrySeconds
 	s.Corruptions += other.Corruptions
 	s.GiveUps += other.GiveUps
+	s.ParityReads += other.ParityReads
+	s.ParityWrites += other.ParityWrites
+	s.ParityBytesRead += other.ParityBytesRead
+	s.ParityBytesWritten += other.ParityBytesWritten
+	s.Reconstructions += other.Reconstructions
+	s.ReconstructedBlocks += other.ReconstructedBlocks
+	s.ReconstructedBytes += other.ReconstructedBytes
+	s.ParityRebuilds += other.ParityRebuilds
 	s.ReadSizes.Add(other.ReadSizes)
 	s.WriteSizes.Add(other.WriteSizes)
 }
@@ -180,6 +208,13 @@ type CommStats struct {
 	// the I/O requests it saves.
 	ShuffleMessages int64
 	ShuffleBytes    int64
+
+	// RecoveryMessages and RecoveryBytes count the gather traffic of
+	// parity reconstruction: surviving blocks shipped to the recovering
+	// processor when a lost file is rebuilt. Their simulated time is
+	// charged with the reconstruction I/O, not into Seconds here.
+	RecoveryMessages int64
+	RecoveryBytes    int64
 }
 
 // Add accumulates other into s.
@@ -190,6 +225,8 @@ func (s *CommStats) Add(other CommStats) {
 	s.Seconds += other.Seconds
 	s.ShuffleMessages += other.ShuffleMessages
 	s.ShuffleBytes += other.ShuffleBytes
+	s.RecoveryMessages += other.RecoveryMessages
+	s.RecoveryBytes += other.RecoveryBytes
 }
 
 // ProcStats aggregates all activity of one processor.
@@ -286,6 +323,30 @@ func (s *Stats) MaxIO() IOStats {
 		}
 		if p.IO.GiveUps > m.GiveUps {
 			m.GiveUps = p.IO.GiveUps
+		}
+		if p.IO.ParityReads > m.ParityReads {
+			m.ParityReads = p.IO.ParityReads
+		}
+		if p.IO.ParityWrites > m.ParityWrites {
+			m.ParityWrites = p.IO.ParityWrites
+		}
+		if p.IO.ParityBytesRead > m.ParityBytesRead {
+			m.ParityBytesRead = p.IO.ParityBytesRead
+		}
+		if p.IO.ParityBytesWritten > m.ParityBytesWritten {
+			m.ParityBytesWritten = p.IO.ParityBytesWritten
+		}
+		if p.IO.Reconstructions > m.Reconstructions {
+			m.Reconstructions = p.IO.Reconstructions
+		}
+		if p.IO.ReconstructedBlocks > m.ReconstructedBlocks {
+			m.ReconstructedBlocks = p.IO.ReconstructedBlocks
+		}
+		if p.IO.ReconstructedBytes > m.ReconstructedBytes {
+			m.ReconstructedBytes = p.IO.ReconstructedBytes
+		}
+		if p.IO.ParityRebuilds > m.ParityRebuilds {
+			m.ParityRebuilds = p.IO.ParityRebuilds
 		}
 		m.ReadSizes.MaxOf(p.IO.ReadSizes)
 		m.WriteSizes.MaxOf(p.IO.WriteSizes)
