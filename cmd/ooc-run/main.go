@@ -37,8 +37,11 @@ func main() {
 		prefetch = flag.Bool("prefetch", false, "overlap slab reads with computation")
 		dataDir  = flag.String("datadir", "", "keep local array files under this directory (default: in memory)")
 		verify   = flag.Bool("verify", true, "check the result against the closed form")
-		timeline = flag.Bool("timeline", false, "print an ASCII timeline of compute/communication/I/O")
+		timeline = flag.Bool("timeline", false, "print an ASCII timeline, phase attribution and critical path")
 		asJSON   = flag.Bool("json", false, "print the execution statistics as JSON")
+
+		traceOut  = flag.String("trace", "", "write a Chrome-trace-event (Perfetto) JSON timeline to this file")
+		statsJSON = flag.String("stats-json", "", "write the execution statistics snapshot as JSON to this file")
 
 		chaos         = flag.Float64("chaos", 0, "probability of a transient fault per file operation")
 		chaosCorrupt  = flag.Float64("chaos-corrupt", 0, "probability of a flipped bit per file read")
@@ -124,9 +127,9 @@ func main() {
 		ckpt = &exec.CheckpointSpec{Every: every}
 	}
 	an := res.Analysis
-	var spans *trace.SpanLog
-	if *timeline {
-		spans = trace.NewSpanLog()
+	var tracer *trace.Tracer
+	if *timeline || *traceOut != "" {
+		tracer = trace.NewTracer(res.Program.Procs)
 	}
 	fills := map[string]func(int, int) float64{}
 	switch res.Analysis.Pattern {
@@ -142,7 +145,7 @@ func main() {
 		Phantom:    *phantom,
 		Runtime:    oocarray.Options{Sieve: *sieve, Prefetch: *prefetch},
 		Fill:       fills,
-		Spans:      spans,
+		Trace:      tracer,
 		Resilience: resil,
 		Checkpoint: ckpt,
 		Parity:     *parity,
@@ -180,9 +183,38 @@ func main() {
 			fmt.Println("recovery: the run survived in degraded mode; full redundancy was rebuilt before completion")
 		}
 	}
-	if spans != nil {
-		fmt.Print(spans.Gantt(res.Program.Procs, 100))
-		fmt.Printf("time by activity:\n%s", spans.Summary())
+	if *timeline {
+		fmt.Print(tracer.Gantt(res.Program.Procs, 100))
+		fmt.Printf("time by activity:\n%s", tracer.Summary())
+		spans := tracer.Spans()
+		elapsed := out.Stats.ElapsedSeconds()
+		fmt.Print(trace.FormatPhaseReport(trace.PhaseReport(spans, res.Program.Procs, elapsed), elapsed))
+		segs, pathElapsed := trace.CriticalPath(spans, res.Program.Procs)
+		fmt.Print(trace.FormatCriticalPath(segs, pathElapsed, 5))
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := tracer.ExportChromeTrace(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("trace: wrote %s (open in https://ui.perfetto.dev)\n", *traceOut)
+	}
+	if *statsJSON != "" {
+		data, err := json.MarshalIndent(out.Stats.Snapshot(), "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*statsJSON, append(data, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("stats: wrote %s\n", *statsJSON)
 	}
 
 	if *asJSON {

@@ -1,0 +1,80 @@
+// ooc-trace analyzes a Chrome-trace-event timeline written by
+// ooc-run -trace: it validates the JSON structure, reports per-phase
+// time attribution and the critical path through the run, and — given
+// the matching statistics snapshot from ooc-run -stats-json — verifies
+// that the spans reconcile exactly with the accounted statistics.
+//
+// Usage:
+//
+//	ooc-trace [flags] trace.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/ooc-hpf/passion/internal/trace"
+)
+
+func main() {
+	var (
+		reconcile = flag.String("reconcile", "", "stats snapshot JSON (from ooc-run -stats-json) to reconcile the spans against")
+		topK      = flag.Int("top", 5, "how many bottleneck contributors to list")
+		validate  = flag.Bool("validate", true, "check the trace-event JSON structure before analyzing")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: ooc-trace [flags] trace.json")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	if *validate {
+		if err := trace.ValidateChromeTrace(data); err != nil {
+			fatal(err)
+		}
+		fmt.Println("validate: well-formed Chrome trace-event JSON")
+	}
+	spans, procs, err := trace.ParseChromeTrace(data)
+	if err != nil {
+		fatal(err)
+	}
+
+	elapsed := 0.0
+	for _, s := range spans {
+		if !s.Deferred && s.End() > elapsed {
+			elapsed = s.End()
+		}
+	}
+	if *reconcile != "" {
+		sdata, err := os.ReadFile(*reconcile)
+		if err != nil {
+			fatal(err)
+		}
+		var snap trace.Snapshot
+		if err := json.Unmarshal(sdata, &snap); err != nil {
+			fatal(fmt.Errorf("parse %s: %w", *reconcile, err))
+		}
+		stats := &trace.Stats{Procs: snap.Procs}
+		if err := trace.Reconcile(spans, stats, nil); err != nil {
+			fatal(err)
+		}
+		fmt.Println("reconcile: spans replay to the accounted statistics exactly")
+		elapsed = snap.ElapsedSeconds
+	}
+
+	fmt.Printf("trace: %d spans over %d ranks, %.4fs simulated\n", len(spans), procs, elapsed)
+	fmt.Print(trace.FormatPhaseReport(trace.PhaseReport(spans, procs, elapsed), elapsed))
+	segs, pathElapsed := trace.CriticalPath(spans, procs)
+	fmt.Print(trace.FormatCriticalPath(segs, pathElapsed, *topK))
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ooc-trace:", err)
+	os.Exit(1)
+}

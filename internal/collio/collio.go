@@ -28,6 +28,7 @@ import (
 	"github.com/ooc-hpf/passion/internal/dist"
 	"github.com/ooc-hpf/passion/internal/iosim"
 	"github.com/ooc-hpf/passion/internal/mp"
+	"github.com/ooc-hpf/passion/internal/trace"
 )
 
 // Method selects the destination write strategy of a collective
@@ -182,8 +183,22 @@ func Redistribute(p *mp.Proc, src, dst Side, memElems, tag int, transform func(g
 	}
 	defer recv.cleanup()
 
+	// phase brackets each stage of a round with an overlay span, so the
+	// exported timeline shows where a redistribution's time goes without
+	// touching the reconciled leaf spans recorded underneath.
+	tr, clock := p.Tracer(), p.Clock()
+	phase := func(label string, start float64) {
+		if tr == nil {
+			return
+		}
+		if now := clock.Seconds(); now > start {
+			tr.Emit(trace.Span{Kind: trace.KindPhase, Label: label, Start: start, Dur: now - start})
+		}
+	}
+
 	buf := make([]float64, src.Rows*w)
 	for round := 0; round < rounds; round++ {
+		t0 := clock.Seconds()
 		parts := make([][]float64, size)
 		if round < myRounds {
 			c0 := round * w
@@ -207,7 +222,11 @@ func Redistribute(p *mp.Proc, src, dst Side, memElems, tag int, transform func(g
 				}
 			}
 		}
+		phase("collio:read", t0)
+		t1 := clock.Seconds()
 		incoming := p.AllToAll(tag, parts)
+		phase("collio:shuffle", t1)
+		t2 := clock.Seconds()
 		var pairs []pair
 		for _, in := range incoming {
 			if len(in)%2 != 0 {
@@ -220,8 +239,14 @@ func Redistribute(p *mp.Proc, src, dst Side, memElems, tag int, transform func(g
 		if err := recv.absorb(pairs); err != nil {
 			return err
 		}
+		phase("collio:write", t2)
 	}
-	return recv.finish()
+	tEnd := clock.Seconds()
+	if err := recv.finish(); err != nil {
+		return err
+	}
+	phase("collio:write", tEnd)
+	return nil
 }
 
 // receiver applies each round's incoming pairs to the destination LAF

@@ -14,6 +14,7 @@ import (
 	"github.com/ooc-hpf/passion/internal/matrix"
 	"github.com/ooc-hpf/passion/internal/oocarray"
 	"github.com/ooc-hpf/passion/internal/plan"
+	"github.com/ooc-hpf/passion/internal/trace"
 )
 
 // CheckpointSpec enables checkpoint/restart for an execution: at eligible
@@ -239,6 +240,7 @@ func containsSumStore(body []plan.Node) bool {
 // complete, consistent generation). Checkpoint I/O is unaccounted except
 // for the commit barrier's synchronization.
 func (in *interp) doCheckpoint(nodeIdx, iter int) error {
+	ckptStart := in.proc.Clock().Seconds()
 	spec := in.ckptSpec
 	slot := in.ckptEpoch % ckptSlots
 	rank := in.proc.Rank()
@@ -304,6 +306,12 @@ func (in *interp) doCheckpoint(nodeIdx, iter int) error {
 	// Commit: every processor has durably written epoch E before any
 	// processor may overwrite the slot holding epoch E-1.
 	in.proc.Barrier(ckptTag)
+	if tr := in.proc.Tracer(); tr != nil {
+		// Checkpoint I/O itself is unaccounted; the span brackets the
+		// commit (including its barrier wait) as an overlay marker.
+		tr.Emit(trace.Span{Kind: trace.KindCheckpoint, Start: ckptStart,
+			Dur: in.proc.Clock().Seconds() - ckptStart, N: int64(in.ckptEpoch)})
+	}
 	in.ckptEpoch++
 	return nil
 }

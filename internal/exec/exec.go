@@ -7,6 +7,8 @@ package exec
 
 import (
 	"fmt"
+	"sort"
+	"strings"
 
 	"github.com/ooc-hpf/passion/internal/collio"
 	"github.com/ooc-hpf/passion/internal/iosim"
@@ -32,9 +34,11 @@ type Options struct {
 	Phantom bool
 	// FS is the backing store; nil means a fresh in-memory file system.
 	FS iosim.FS
-	// Spans, when non-nil, collects a timeline of compute, communication
-	// and I/O intervals across all processors (see trace.SpanLog.Gantt).
-	Spans *trace.SpanLog
+	// Trace, when non-nil, collects a timeline of typed spans — compute,
+	// communication, I/O, retries, parity maintenance — across all
+	// processors against the simulated clocks (see trace.Tracer). Spans
+	// reconcile exactly with the run's statistics (trace.Reconcile).
+	Trace *trace.Tracer
 	// Resilience, when non-nil, routes all local array file I/O through
 	// the retrying, checksum-verifying disk layer: transient faults are
 	// retried with backoff charged to the simulated clocks, and checksum
@@ -165,7 +169,7 @@ func run(p *plan.Program, mach sim.Config, opts Options, resume []*ckptManifest)
 	}
 	perArray := make([]map[string]*trace.IOStats, mach.Procs)
 	stats, err := mp.Run(mach, func(proc *mp.Proc) error {
-		proc.SetSpanLog(opts.Spans)
+		proc.SetTracer(opts.Trace.Rank(proc.Rank()))
 		if pstore != nil {
 			pstore.SetCommSink(proc.Rank(), &proc.Stats().Comm)
 		}
@@ -199,10 +203,17 @@ func run(p *plan.Program, mach sim.Config, opts Options, resume []*ckptManifest)
 		if err := in.paritySync(); err != nil {
 			return err
 		}
-		// Fold the per-array statistics into the processor total.
+		// Fold the per-array statistics into the processor total, in
+		// sorted-key order so the float sums are reproducible (and match
+		// the span replay's fold, which uses the same order).
 		io := &proc.Stats().IO
-		for _, st := range in.perArray {
-			io.Add(*st)
+		names := make([]string, 0, len(in.perArray))
+		for name := range in.perArray {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			io.Add(*in.perArray[name])
 		}
 		return nil
 	})
@@ -340,6 +351,7 @@ func newInterp(p *plan.Program, proc *mp.Proc, fs iosim.FS, opts Options, pstore
 		in.perArray[spec.Name] = arrStats
 		disk := iosim.NewResilientDisk(fs, proc.Config(), arrStats, opts.Resilience)
 		disk.SetPhantom(opts.Phantom)
+		disk.SetTracer(proc.Tracer(), proc.Clock(), spec.Name)
 		if pstore != nil {
 			disk.SetParity(pstore)
 		}
@@ -355,7 +367,6 @@ func newInterp(p *plan.Program, proc *mp.Proc, fs iosim.FS, opts Options, pstore
 		if err != nil {
 			return nil, err
 		}
-		arr.SetSpanLog(opts.Spans)
 		in.arrays[spec.Name] = arr
 		in.slabbings[spec.Name] = arr.Slabbing(spec.SlabDim, spec.SlabElems)
 		if opts.Runtime.WriteBehind {
@@ -406,10 +417,15 @@ func (in *interp) paritySync() error {
 		}
 		disk := iosim.NewResilientDisk(in.fs, in.proc.Config(), st, in.res)
 		disk.SetPhantom(in.phantom)
+		disk.SetTracer(in.proc.Tracer(), in.proc.Clock(), parityStatsKey)
+		start := in.proc.Clock().Seconds()
 		var sec float64
 		sec, err = in.pstore.RebuildRank(disk, in.proc.Rank())
 		in.proc.Clock().Advance(sec)
 		st.Seconds += sec
+		if tr := in.proc.Tracer(); tr != nil {
+			tr.Emit(trace.Span{Kind: trace.KindParitySync, Label: parityStatsKey, Start: start, Dur: sec})
+		}
 	}
 	in.proc.Barrier(parityTag)
 	if err != nil {
@@ -442,6 +458,7 @@ func (in *interp) runTop(body []plan.Node, startNode, startIter int) error {
 		}
 	}
 	for i := startNode; i < len(body); i++ {
+		nodeStart := in.proc.Clock().Seconds()
 		loop, isLoop := body[i].(*plan.Loop)
 		first := 0
 		if i == startNode {
@@ -479,6 +496,12 @@ func (in *interp) runTop(body []plan.Node, startNode, startIter int) error {
 				return err
 			}
 		}
+		if tr := in.proc.Tracer(); tr != nil {
+			if end := in.proc.Clock().Seconds(); end > nodeStart {
+				tr.Emit(trace.Span{Kind: trace.KindNode, Label: nodeLabel(body[i]),
+					Start: nodeStart, Dur: end - nodeStart, N: int64(i)})
+			}
+		}
 		if in.ckptSpec != nil && i+1 < len(body) {
 			if err := in.doCheckpoint(i+1, 0); err != nil {
 				return err
@@ -486,6 +509,18 @@ func (in *interp) runTop(body []plan.Node, startNode, startIter int) error {
 		}
 	}
 	return nil
+}
+
+// nodeLabel names a plan node for the trace overlay track.
+func nodeLabel(n plan.Node) string {
+	switch n := n.(type) {
+	case *plan.Loop:
+		return "loop " + n.Var
+	case *plan.Redistribute:
+		return "redistribute " + n.Src + "->" + n.Dst
+	default:
+		return strings.TrimPrefix(fmt.Sprintf("%T", n), "*plan.")
+	}
 }
 
 func (in *interp) runBody(body []plan.Node) error {

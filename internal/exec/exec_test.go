@@ -275,27 +275,27 @@ func TestStreamHintPrinted(t *testing.T) {
 }
 
 func TestSpanTimelineRecorded(t *testing.T) {
-	spans := trace.NewSpanLog()
+	tr := trace.NewTracer(4)
 	res, err := compiler.CompileSource(hpf.GaxpySource, compiler.Options{N: 32, Procs: 4, MemElems: 300})
 	if err != nil {
 		t.Fatal(err)
 	}
-	out, err := Run(res.Program, sim.Delta(4), Options{Phantom: true, Spans: spans})
+	out, err := Run(res.Program, sim.Delta(4), Options{Phantom: true, Trace: tr})
 	if err != nil {
 		t.Fatal(err)
 	}
-	kinds := map[string]bool{}
+	kinds := map[trace.Kind]bool{}
 	var ioSeconds float64
-	for _, s := range spans.Spans() {
+	for _, s := range tr.Spans() {
 		kinds[s.Kind] = true
-		if s.Kind == "io-read" || s.Kind == "io-write" {
-			ioSeconds += s.End - s.Start
+		if s.Kind == trace.KindSlabRead || s.Kind == trace.KindSlabWrite {
+			ioSeconds += s.Dur
 		}
-		if s.End > out.Stats.ElapsedSeconds()+1e-9 {
+		if !s.Deferred && s.End() > out.Stats.ElapsedSeconds()+1e-9 {
 			t.Fatalf("span past the end of the run: %+v", s)
 		}
 	}
-	for _, want := range []string{"compute", "io-read", "io-write", "send"} {
+	for _, want := range []trace.Kind{trace.KindCompute, trace.KindSlabRead, trace.KindSlabWrite, trace.KindSend} {
 		if !kinds[want] {
 			t.Errorf("no %q spans recorded (kinds: %v)", want, kinds)
 		}
@@ -304,7 +304,11 @@ func TestSpanTimelineRecorded(t *testing.T) {
 	if acc := out.Stats.TotalIO().Seconds; ioSeconds < acc-1e-6 || ioSeconds > acc+1e-6 {
 		t.Errorf("span io time %.6f != accounted %.6f", ioSeconds, acc)
 	}
-	if !strings.Contains(spans.Gantt(4, 80), "p0") {
+	if !strings.Contains(tr.Gantt(4, 80), "p0") {
 		t.Error("gantt should render lanes")
+	}
+	// And reconcile exactly — counts, bytes and seconds to the digit.
+	if err := trace.Reconcile(tr.Spans(), out.Stats, out.PerArray); err != nil {
+		t.Fatal(err)
 	}
 }

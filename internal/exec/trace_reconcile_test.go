@@ -1,0 +1,262 @@
+package exec
+
+import (
+	"testing"
+
+	"github.com/ooc-hpf/passion/internal/compiler"
+	"github.com/ooc-hpf/passion/internal/hpf"
+	"github.com/ooc-hpf/passion/internal/iosim"
+	"github.com/ooc-hpf/passion/internal/oocarray"
+	"github.com/ooc-hpf/passion/internal/sim"
+	"github.com/ooc-hpf/passion/internal/trace"
+)
+
+// reconcileScenario compiles one program and describes how to run it; the
+// matrix below asserts the keystone property for each: the span timeline
+// replays to the accounted per-processor statistics exactly, to the digit.
+type reconcileScenario struct {
+	name    string
+	source  string
+	copts   compiler.Options
+	fills   map[string]func(int, int) float64
+	options Options // Trace filled in by the test
+	resume  bool    // kill the run mid-flight, then reconcile the Resume
+}
+
+func gaxpyScenarioOpts(force string) compiler.Options {
+	return compiler.Options{N: 32, Procs: 4, MemElems: 300, Force: force}
+}
+
+func transientChaosFS(seed int64) iosim.FS {
+	return iosim.NewChaosFS(iosim.NewMemFS(), iosim.ChaosConfig{
+		Seed: seed, PTransient: 0.03, PCorrupt: 0.01,
+	})
+}
+
+func retryResilience() *iosim.Resilience {
+	return iosim.NewResilience(iosim.RetryPolicy{MaxRetries: 12, BaseBackoff: 1e-3, MaxBackoff: 8e-3})
+}
+
+// TestTraceReconcilesAcrossPrograms is the keystone acceptance test: for
+// every supported execution strategy, runtime reorganization, and fault
+// mode, replaying the emitted spans reproduces IOStats and CommStats
+// bit-exactly — counts, bytes, and simulated seconds. Any counter bumped
+// without a matching span (or vice versa) fails here.
+func TestTraceReconcilesAcrossPrograms(t *testing.T) {
+	stencilFill := map[string]func(int, int) float64{"x": shiftFillX}
+	transposeFill := map[string]func(int, int) float64{
+		"a": func(gi, gj int) float64 { return float64(gi*64 + gj + 1) },
+	}
+	ewiseFill := map[string]func(int, int) float64{"x": fillX, "y": fillY}
+
+	scenarios := []reconcileScenario{
+		{
+			name:    "gaxpy/row-slab",
+			source:  hpf.GaxpySource,
+			copts:   gaxpyScenarioOpts("row-slab"),
+			fills:   sweepFills(),
+			options: Options{},
+		},
+		{
+			name:    "gaxpy/column-slab/sieve",
+			source:  hpf.GaxpySource,
+			copts:   gaxpyScenarioOpts("column-slab"),
+			fills:   sweepFills(),
+			options: Options{Runtime: oocarray.Options{Sieve: true}},
+		},
+		{
+			name:    "gaxpy/row-slab/prefetch-writebehind",
+			source:  hpf.GaxpySource,
+			copts:   gaxpyScenarioOpts("row-slab"),
+			fills:   sweepFills(),
+			options: Options{Runtime: oocarray.Options{Prefetch: true, WriteBehind: true}},
+		},
+		{
+			name:    "gaxpy/phantom",
+			source:  hpf.GaxpySource,
+			copts:   gaxpyScenarioOpts("column-slab"),
+			options: Options{Phantom: true},
+		},
+		{
+			name:   "gaxpy/chaos-transient",
+			source: hpf.GaxpySource,
+			copts:  gaxpyScenarioOpts("row-slab"),
+			fills:  sweepFills(),
+			options: Options{
+				FS:         transientChaosFS(1),
+				Resilience: retryResilience(),
+			},
+		},
+		{
+			name:    "gaxpy/parity",
+			source:  hpf.GaxpySource,
+			copts:   gaxpyScenarioOpts("column-slab"),
+			fills:   sweepFills(),
+			options: Options{Resilience: parityResilience(), Parity: true},
+		},
+		{
+			name:   "gaxpy/parity/disk-loss",
+			source: hpf.GaxpySource,
+			copts:  gaxpyScenarioOpts("row-slab"),
+			fills:  sweepFills(),
+			options: Options{
+				FS: iosim.NewChaosFS(iosim.NewMemFS(), iosim.ChaosConfig{
+					Schedule: []iosim.ScheduledFault{{File: "c.p1.laf", Op: 3, Kind: iosim.KindDiskLoss}},
+				}),
+				Resilience: parityResilience(),
+				Parity:     true,
+			},
+		},
+		{
+			name:    "gaxpy/checkpoint",
+			source:  hpf.GaxpySource,
+			copts:   gaxpyScenarioOpts("row-slab"),
+			fills:   sweepFills(),
+			options: Options{Checkpoint: &CheckpointSpec{Every: 1}},
+		},
+		{
+			name:    "gaxpy/checkpoint-resume",
+			source:  hpf.GaxpySource,
+			copts:   gaxpyScenarioOpts("row-slab"),
+			fills:   sweepFills(),
+			options: Options{Checkpoint: &CheckpointSpec{Every: 1}},
+			resume:  true,
+		},
+		{
+			name:    "stencil/shift-exchange",
+			source:  shiftSource,
+			copts:   compiler.Options{N: 32, Procs: 4, MemElems: 32 * 4},
+			fills:   stencilFill,
+			options: Options{},
+		},
+		{
+			name:    "transpose/direct",
+			source:  hpf.TransposeSource,
+			copts:   compiler.Options{N: 64, Procs: 4, MemElems: 16 * 64, Force: "direct"},
+			fills:   transposeFill,
+			options: Options{},
+		},
+		{
+			name:    "transpose/two-phase",
+			source:  hpf.TransposeSource,
+			copts:   compiler.Options{N: 64, Procs: 4, MemElems: 16 * 64, Force: "two-phase"},
+			fills:   transposeFill,
+			options: Options{},
+		},
+		{
+			name:    "ewise/multi-statement",
+			source:  hpf.EwiseSource,
+			copts:   compiler.Options{N: 64, Procs: 4, MemElems: 64 * 8},
+			fills:   ewiseFill,
+			options: Options{},
+		},
+	}
+
+	for _, sc := range scenarios {
+		t.Run(sc.name, func(t *testing.T) {
+			res, err := compiler.CompileSource(sc.source, sc.copts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mach := sim.Delta(res.Program.Procs)
+			opts := sc.options
+			opts.Fill = sc.fills
+			opts.Trace = trace.NewTracer(res.Program.Procs)
+
+			var out *Result
+			if sc.resume {
+				out = killAndResumeTraced(t, res, mach, opts)
+			} else {
+				out, err = Run(res.Program, mach, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+			spans := opts.Trace.Spans()
+			if len(spans) == 0 {
+				t.Fatal("traced run emitted no spans")
+			}
+			if d := opts.Trace.Dropped(); d != 0 {
+				t.Fatalf("tracer dropped %d spans; reconciliation is void", d)
+			}
+			// Reconcile before ReadArray: result readback charges
+			// statistics outside the traced execution window.
+			if err := trace.Reconcile(spans, out.Stats, out.PerArray); err != nil {
+				t.Fatalf("spans do not replay to the accounted statistics:\n%v", err)
+			}
+		})
+	}
+}
+
+// killAndResumeTraced kills a checkpointed run mid-flight, then resumes it
+// with a fresh tracer (opts.Trace) and returns the resumed result. The
+// reconciliation then covers the resume path: checkpoint restore I/O,
+// epoch skipping, and the remaining execution.
+func killAndResumeTraced(t *testing.T, res *compiler.Result, mach sim.Config, opts Options) *Result {
+	t.Helper()
+	probe := iosim.NewFaultFS(iosim.NewMemFS(), 1<<30, nil)
+	probeOpts := opts
+	probeOpts.Trace = nil
+	probeOpts.FS = probe
+	if _, err := Run(res.Program, mach, probeOpts); err != nil {
+		t.Fatal(err)
+	}
+	total := 1<<30 - probe.Remaining()
+
+	for k := total - 1; k >= 1; k-- {
+		mem := iosim.NewMemFS()
+		killOpts := opts
+		killOpts.Trace = nil
+		killOpts.FS = iosim.NewFaultFS(mem, k, nil)
+		if _, err := Run(res.Program, mach, killOpts); err == nil {
+			continue // budget k sufficed; kill earlier
+		}
+		resumeOpts := opts
+		resumeOpts.FS = mem
+		out, err := Resume(res.Program, mach, resumeOpts)
+		if err != nil {
+			continue // killed mid-commit or before the first checkpoint
+		}
+		return out
+	}
+	t.Fatal("no kill point produced a resumable checkpoint")
+	return nil
+}
+
+// TestTraceDegradedReconstructionSpans pins the recovery-specific span
+// kinds: a parity run that loses a disk emits reconstruction spans, and
+// cross-rank recovery gather traffic reconciles into the surviving ranks'
+// CommStats — the one place a span is attributed to a rank other than the
+// one that executed it.
+func TestTraceDegradedReconstructionSpans(t *testing.T) {
+	res, err := compiler.CompileSource(hpf.GaxpySource, gaxpyScenarioOpts("row-slab"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	chaos := iosim.NewChaosFS(iosim.NewMemFS(), iosim.ChaosConfig{
+		Schedule: []iosim.ScheduledFault{{File: "c.p1.laf", Op: 3, Kind: iosim.KindDiskLoss}},
+	})
+	tr := trace.NewTracer(res.Program.Procs)
+	out, err := Run(res.Program, sim.Delta(res.Program.Procs), Options{
+		FS:         chaos,
+		Fill:       sweepFills(),
+		Resilience: parityResilience(),
+		Parity:     true,
+		Trace:      tr,
+	})
+	if err != nil {
+		t.Fatalf("disk loss must be survived with parity enabled: %v", err)
+	}
+	kinds := map[trace.Kind]int{}
+	for _, s := range tr.Spans() {
+		kinds[s.Kind]++
+	}
+	for _, k := range []trace.Kind{trace.KindReconstruct, trace.KindRecoveryComm, trace.KindParityRMW, trace.KindParitySync} {
+		if kinds[k] == 0 {
+			t.Errorf("degraded parity run emitted no %v spans (have %v)", k, kinds)
+		}
+	}
+	if err := trace.Reconcile(tr.Spans(), out.Stats, out.PerArray); err != nil {
+		t.Fatalf("degraded-mode spans do not replay to the statistics:\n%v", err)
+	}
+}

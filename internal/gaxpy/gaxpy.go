@@ -68,6 +68,9 @@ type Config struct {
 	// FS is the backing store for the local array files; nil means a
 	// fresh in-memory file system.
 	FS iosim.FS
+	// Trace, when non-nil, records a typed span timeline of the run
+	// against the simulated clocks (see trace.Tracer).
+	Trace *trace.Tracer
 }
 
 // ArrayIO breaks one processor's I/O statistics down by array, so the
@@ -132,9 +135,10 @@ func setup(p *mp.Proc, c Config, fs iosim.FS, perArray *ArrayIO) (*arrays, error
 	if c.SlabA <= 0 || c.SlabB <= 0 {
 		return nil, fmt.Errorf("gaxpy: slab sizes must be positive (A=%d, B=%d)", c.SlabA, c.SlabB)
 	}
-	newDisk := func(stats *trace.IOStats) *iosim.Disk {
+	newDisk := func(stats *trace.IOStats, label string) *iosim.Disk {
 		d := iosim.NewDisk(fs, p.Config(), stats)
 		d.SetPhantom(c.Phantom)
+		d.SetTracer(p.Tracer(), p.Clock(), label)
 		return d
 	}
 
@@ -150,15 +154,15 @@ func setup(p *mp.Proc, c Config, fs iosim.FS, perArray *ArrayIO) (*arrays, error
 	if err != nil {
 		return nil, err
 	}
-	a, err := oocarray.New(newDisk(&perArray.A), mapA, p.Rank(), p.Clock(), c.Opts)
+	a, err := oocarray.New(newDisk(&perArray.A, "a"), mapA, p.Rank(), p.Clock(), c.Opts)
 	if err != nil {
 		return nil, err
 	}
-	b, err := oocarray.New(newDisk(&perArray.B), mapB, p.Rank(), p.Clock(), c.Opts)
+	b, err := oocarray.New(newDisk(&perArray.B, "b"), mapB, p.Rank(), p.Clock(), c.Opts)
 	if err != nil {
 		return nil, err
 	}
-	cc, err := oocarray.New(newDisk(&perArray.C), mapC, p.Rank(), p.Clock(), c.Opts)
+	cc, err := oocarray.New(newDisk(&perArray.C, "c"), mapC, p.Rank(), p.Clock(), c.Opts)
 	if err != nil {
 		return nil, err
 	}
@@ -184,6 +188,7 @@ func run(mach sim.Config, c Config, variant string, node func(p *mp.Proc, ar *ar
 	}
 	perArray := make([]ArrayIO, mach.Procs)
 	stats, err := mp.Run(mach, func(p *mp.Proc) error {
+		p.SetTracer(c.Trace.Rank(p.Rank()))
 		ar, err := setup(p, c, fs, &perArray[p.Rank()])
 		if err != nil {
 			return err

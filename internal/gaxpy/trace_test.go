@@ -1,0 +1,41 @@
+package gaxpy
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/ooc-hpf/passion/internal/oocarray"
+	"github.com/ooc-hpf/passion/internal/sim"
+	"github.com/ooc-hpf/passion/internal/trace"
+)
+
+// TestTraceReconcilesHandCodedVariants extends the keystone exact-replay
+// property to the hand-coded baselines: every GAXPY variant's span
+// timeline must replay to its accounted totals to the digit (the
+// per-array breakdown here is an ArrayIO struct, not the map the
+// reconciler understands, so only the totals are checked).
+func TestTraceReconcilesHandCodedVariants(t *testing.T) {
+	const n, procs = 32, 4
+	for _, opts := range []oocarray.Options{
+		{},
+		{Sieve: true},
+		{Prefetch: true, WriteBehind: true},
+	} {
+		for name, runner := range Variants {
+			t.Run(fmt.Sprintf("%s/sieve=%v/prefetch=%v", name, opts.Sieve, opts.Prefetch), func(t *testing.T) {
+				tr := trace.NewTracer(procs)
+				cfg := Config{N: n, SlabA: n * 2, SlabB: n * 2, Opts: opts, Trace: tr}
+				r, err := runner(sim.Delta(procs), cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(tr.Spans()) == 0 {
+					t.Fatal("traced run emitted no spans")
+				}
+				if err := trace.Reconcile(tr.Spans(), r.Stats, nil); err != nil {
+					t.Fatalf("spans do not replay to the statistics:\n%v", err)
+				}
+			})
+		}
+	}
+}

@@ -53,6 +53,16 @@ type Disk struct {
 	res     *Resilience
 	parity  ParityHook
 	phantom bool
+
+	// tr, clock and label drive span tracing: every counter bump above
+	// also emits a typed span stamped with the simulated time, under the
+	// same stats-gating, so spans and counters reconcile exactly.
+	tr    *trace.RankTracer
+	clock *sim.Clock
+	label string
+	// deferred marks transfers issued by an overlap pipeline (prefetch,
+	// write-behind) whose cost reaches the clock later as io-wait.
+	deferred bool
 }
 
 // NewDisk returns a logical disk for one processor. stats may be nil, in
@@ -102,11 +112,20 @@ func (d *Disk) retryMeta(op, name string, f func() error) error {
 		if attempt >= pol.MaxRetries {
 			if s := d.stats; s != nil {
 				s.GiveUps++
+				if tr := d.tracer(); tr != nil {
+					tr.Emit(trace.Span{Kind: trace.KindGiveUp, Label: d.label, Start: d.clock.Seconds()})
+				}
 			}
 			return &ExhaustedError{Op: op, File: name, Attempts: attempt + 1, Last: err}
 		}
 		if s := d.stats; s != nil {
 			s.Retries++
+			if tr := d.tracer(); tr != nil {
+				// Metadata retries are uncharged, so the span has no
+				// duration — it reconciles with Retries but adds nothing
+				// to RetrySeconds.
+				tr.Emit(trace.Span{Kind: trace.KindRetry, Label: d.label, Start: d.clock.Seconds()})
+			}
 		}
 	}
 }
@@ -123,6 +142,42 @@ func (d *Disk) Phantom() bool { return d.phantom }
 
 // Stats returns the statistics sink, which may be nil.
 func (d *Disk) Stats() *trace.IOStats { return d.stats }
+
+// SetTracer attaches the span sink for this disk's operations: spans are
+// stamped against clock and labelled with the statistics sink's name
+// (the array name in the executor). Either argument nil disables
+// tracing.
+func (d *Disk) SetTracer(rt *trace.RankTracer, clock *sim.Clock, label string) {
+	if rt == nil || clock == nil {
+		d.tr, d.clock, d.label = nil, nil, ""
+		return
+	}
+	d.tr, d.clock, d.label = rt, clock, label
+}
+
+// SetDeferred marks subsequently emitted transfer spans as overlapped:
+// issued now, but charged to the clock later by the caller's pipeline.
+func (d *Disk) SetDeferred(on bool) { d.deferred = on }
+
+// tracer gates span emission exactly like the counters are gated: a
+// disk without a statistics sink (Quiet views, verification I/O,
+// checkpoint snapshots) stays silent in the trace too.
+func (d *Disk) tracer() *trace.RankTracer {
+	if d.stats == nil {
+		return nil
+	}
+	return d.tr
+}
+
+// TraceSink exposes the gated span sink, the current simulated time and
+// the sink label to the parity layer, which emits its accounting spans
+// through the disk that carries the protected write.
+func (d *Disk) TraceSink() (*trace.RankTracer, float64, string) {
+	if d.stats == nil || d.tr == nil {
+		return nil, 0, ""
+	}
+	return d.tr, d.clock.Seconds(), d.label
+}
 
 // LAF is a Local Array File: the on-disk image of one processor's
 // out-of-core local array, a flat sequence of float64 elements.
@@ -200,6 +255,11 @@ func (d *Disk) OpenLAF(name string, elems int64) (*LAF, error) {
 		sec, rerr := d.parity.Recover(d, name, err)
 		if s := d.stats; s != nil {
 			s.Seconds += sec
+			if tr := d.tracer(); tr != nil {
+				// Charged to IOStats.Seconds without a clock advance, so
+				// the span is off the synchronous timeline (Deferred).
+				tr.Emit(trace.Span{Kind: trace.KindOpenRecover, Label: d.label, Start: d.clock.Seconds(), Dur: sec, Deferred: true})
+			}
 		}
 		if rerr != nil {
 			return nil, rerr
@@ -300,6 +360,14 @@ func (l *LAF) ReadChunks(chunks []Chunk, dst []float64) (float64, error) {
 		for _, c := range chunks {
 			s.ReadSizes.Observe(l.modelBytes(c.Len))
 		}
+		if tr := l.disk.tracer(); tr != nil {
+			now := l.disk.clock.Seconds()
+			for _, c := range chunks {
+				tr.Emit(trace.Span{Kind: trace.KindReadReq, Label: l.disk.label, Start: now, Bytes: l.modelBytes(c.Len)})
+			}
+			tr.Emit(trace.Span{Kind: trace.KindSlabRead, Label: l.disk.label, Start: now, Dur: seconds,
+				Deferred: l.disk.deferred, N: int64(len(chunks)), Bytes: l.modelBytes(elems)})
+		}
 	}
 	return seconds, nil
 }
@@ -335,6 +403,12 @@ func (l *LAF) ReadChunksSieved(chunks []Chunk, dst []float64) (float64, error) {
 		s.BytesRead += l.modelBytes(span.Len)
 		s.Seconds += seconds
 		s.ReadSizes.Observe(l.modelBytes(span.Len))
+		if tr := l.disk.tracer(); tr != nil {
+			now := l.disk.clock.Seconds()
+			tr.Emit(trace.Span{Kind: trace.KindReadReq, Label: l.disk.label, Start: now, Bytes: l.modelBytes(span.Len)})
+			tr.Emit(trace.Span{Kind: trace.KindSlabRead, Label: l.disk.label, Start: now, Dur: seconds,
+				Deferred: l.disk.deferred, N: 1, Bytes: l.modelBytes(span.Len)})
+		}
 	}
 	return seconds, nil
 }
@@ -378,6 +452,13 @@ func (l *LAF) WriteChunksSieved(chunks []Chunk, src []float64) (float64, error) 
 		s.Seconds += seconds
 		s.ReadSizes.Observe(spanBytes)
 		s.WriteSizes.Observe(spanBytes)
+		if tr := l.disk.tracer(); tr != nil {
+			now := l.disk.clock.Seconds()
+			tr.Emit(trace.Span{Kind: trace.KindReadReq, Label: l.disk.label, Start: now, Bytes: spanBytes})
+			tr.Emit(trace.Span{Kind: trace.KindWriteReq, Label: l.disk.label, Start: now, Bytes: spanBytes})
+			tr.Emit(trace.Span{Kind: trace.KindSlabWrite, Label: l.disk.label, Start: now, Dur: seconds,
+				Deferred: l.disk.deferred, N: 2, Bytes: 2 * spanBytes})
+		}
 	}
 	return seconds, nil
 }
@@ -407,6 +488,14 @@ func (l *LAF) WriteChunks(chunks []Chunk, src []float64) (float64, error) {
 		s.Seconds += seconds
 		for _, c := range chunks {
 			s.WriteSizes.Observe(l.modelBytes(c.Len))
+		}
+		if tr := l.disk.tracer(); tr != nil {
+			now := l.disk.clock.Seconds()
+			for _, c := range chunks {
+				tr.Emit(trace.Span{Kind: trace.KindWriteReq, Label: l.disk.label, Start: now, Bytes: l.modelBytes(c.Len)})
+			}
+			tr.Emit(trace.Span{Kind: trace.KindSlabWrite, Label: l.disk.label, Start: now, Dur: seconds,
+				Deferred: l.disk.deferred, N: int64(len(chunks)), Bytes: l.modelBytes(elems)})
 		}
 	}
 	return seconds, nil
@@ -528,14 +617,23 @@ func (l *LAF) readRunResilient(c Chunk, dst []float64) (float64, error) {
 			err = &CorruptionError{File: l.name, Block: block}
 			if s := l.disk.stats; s != nil {
 				s.Corruptions++
+				if tr := l.disk.tracer(); tr != nil {
+					tr.Emit(trace.Span{Kind: trace.KindCorruption, Label: l.disk.label, Start: l.disk.clock.Seconds()})
+				}
 			}
 		}
 		if !IsTransient(err) {
+			if tr := l.disk.tracer(); tr != nil {
+				tr.Emit(trace.Span{Kind: trace.KindFault, Label: l.disk.label, Start: l.disk.clock.Seconds()})
+			}
 			return retrySec, err
 		}
 		if attempt >= pol.MaxRetries {
 			if s := l.disk.stats; s != nil {
 				s.GiveUps++
+				if tr := l.disk.tracer(); tr != nil {
+					tr.Emit(trace.Span{Kind: trace.KindGiveUp, Label: l.disk.label, Start: l.disk.clock.Seconds()})
+				}
 			}
 			return retrySec, &ExhaustedError{Op: "read", File: l.name, Attempts: attempt + 1, Last: err}
 		}
@@ -544,6 +642,9 @@ func (l *LAF) readRunResilient(c Chunk, dst []float64) (float64, error) {
 		if s := l.disk.stats; s != nil {
 			s.Retries++
 			s.RetrySeconds += wait
+			if tr := l.disk.tracer(); tr != nil {
+				tr.Emit(trace.Span{Kind: trace.KindRetry, Label: l.disk.label, Start: l.disk.clock.Seconds(), Dur: wait})
+			}
 		}
 	}
 }
@@ -614,11 +715,17 @@ func (l *LAF) writeRunResilient(buf []byte, byteOff int64) (float64, error) {
 			return retrySec, nil
 		}
 		if !IsTransient(err) {
+			if tr := l.disk.tracer(); tr != nil {
+				tr.Emit(trace.Span{Kind: trace.KindFault, Label: l.disk.label, Start: l.disk.clock.Seconds()})
+			}
 			return retrySec, err
 		}
 		if attempt >= pol.MaxRetries {
 			if s := l.disk.stats; s != nil {
 				s.GiveUps++
+				if tr := l.disk.tracer(); tr != nil {
+					tr.Emit(trace.Span{Kind: trace.KindGiveUp, Label: l.disk.label, Start: l.disk.clock.Seconds()})
+				}
 			}
 			return retrySec, &ExhaustedError{Op: "write", File: l.name, Attempts: attempt + 1, Last: err}
 		}
@@ -627,6 +734,9 @@ func (l *LAF) writeRunResilient(buf []byte, byteOff int64) (float64, error) {
 		if s := l.disk.stats; s != nil {
 			s.Retries++
 			s.RetrySeconds += wait
+			if tr := l.disk.tracer(); tr != nil {
+				tr.Emit(trace.Span{Kind: trace.KindRetry, Label: l.disk.label, Start: l.disk.clock.Seconds(), Dur: wait})
+			}
 		}
 	}
 }

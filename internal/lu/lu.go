@@ -37,6 +37,9 @@ type Config struct {
 	// FS backs the local array files; nil means a fresh in-memory file
 	// system.
 	FS iosim.FS
+	// Trace, when non-nil, records a typed span timeline of the run
+	// against the simulated clocks (see trace.Tracer).
+	Trace *trace.Tracer
 }
 
 // Result is a completed factorization.
@@ -85,7 +88,9 @@ func Run(mach sim.Config, cfg Config) (*Result, error) {
 	panels := n / w
 
 	stats, err := mp.Run(mach, func(proc *mp.Proc) error {
+		proc.SetTracer(cfg.Trace.Rank(proc.Rank()))
 		disk := iosim.NewDisk(fs, proc.Config(), &proc.Stats().IO)
+		disk.SetTracer(proc.Tracer(), proc.Clock(), "lu")
 		dm, err := dist.NewArray("lu", dist.NewCollapsed(n), dist.NewBlock(n, p))
 		if err != nil {
 			return err

@@ -1,0 +1,31 @@
+package lu
+
+import (
+	"testing"
+
+	"github.com/ooc-hpf/passion/internal/sim"
+	"github.com/ooc-hpf/passion/internal/trace"
+)
+
+// TestTraceReconcilesFactorization extends the keystone exact-replay
+// property to the out-of-core LU baseline, whose access pattern (repeated
+// panel sweeps with owner broadcast) differs from everything the compiled
+// programs exercise.
+func TestTraceReconcilesFactorization(t *testing.T) {
+	for _, tc := range []struct{ n, p, w int }{
+		{32, 4, 4},
+		{32, 2, 8},
+	} {
+		tr := trace.NewTracer(tc.p)
+		r, err := Run(sim.Delta(tc.p), Config{N: tc.n, PanelWidth: tc.w, Trace: tr})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(tr.Spans()) == 0 {
+			t.Fatal("traced run emitted no spans")
+		}
+		if err := trace.Reconcile(tr.Spans(), r.Stats, nil); err != nil {
+			t.Fatalf("n=%d p=%d w=%d: spans do not replay to the statistics:\n%v", tc.n, tc.p, tc.w, err)
+		}
+	}
+}

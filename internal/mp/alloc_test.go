@@ -1,0 +1,34 @@
+package mp
+
+import (
+	"testing"
+
+	"github.com/ooc-hpf/passion/internal/sim"
+)
+
+// TestComputeNoAllocsWithoutTracer pins the zero-overhead-when-disabled
+// guarantee: with no tracer attached, the hot-path Compute must not
+// allocate at all.
+func TestComputeNoAllocsWithoutTracer(t *testing.T) {
+	cfg := sim.Delta(1)
+	Run(cfg, func(p *Proc) error {
+		if n := testing.AllocsPerRun(1000, func() { p.Compute(64) }); n != 0 {
+			t.Errorf("Compute allocates %v times per call with tracing disabled", n)
+		}
+		return nil
+	})
+}
+
+// TestCollectivesNoAllocsFromTracingPath checks that the collective
+// bookkeeping added for tracing does not allocate when no tracer is
+// attached (the collectives themselves allocate buffers; here we only
+// pin the label path, which must not build strings eagerly).
+func TestCollectivesNoAllocsFromTracingPath(t *testing.T) {
+	cfg := sim.Delta(1)
+	Run(cfg, func(p *Proc) error {
+		if n := testing.AllocsPerRun(1000, func() { p.collective("reduce") }); n != 0 {
+			t.Errorf("collective bookkeeping allocates %v times per call with tracing disabled", n)
+		}
+		return nil
+	})
+}

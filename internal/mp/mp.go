@@ -40,7 +40,14 @@ type Proc struct {
 	rank  int
 	clock sim.Clock
 	stats *trace.ProcStats
-	spans *trace.SpanLog
+	tr    *trace.RankTracer
+
+	// a2aSeq numbers this processor's AllToAll calls; being collective,
+	// the counts agree across ranks, which lets matching send/wait pairs
+	// derive the same flow id without extra messages.
+	a2aSeq int64
+	// flowOut/flowIn tag the next Send/Recv with a flow id.
+	flowOut, flowIn uint64
 }
 
 // NodeFunc is the SPMD node program.
@@ -119,12 +126,13 @@ func (p *Proc) Clock() *sim.Clock { return &p.clock }
 // Stats returns this processor's statistics record.
 func (p *Proc) Stats() *trace.ProcStats { return p.stats }
 
-// SetSpanLog attaches a span log; compute and communication intervals are
-// recorded into it for timeline rendering. A nil log disables recording.
-func (p *Proc) SetSpanLog(l *trace.SpanLog) { p.spans = l }
+// SetTracer attaches this processor's span sink; compute and
+// communication spans are emitted into it against the simulated clock.
+// A nil tracer disables recording at zero cost.
+func (p *Proc) SetTracer(rt *trace.RankTracer) { p.tr = rt }
 
-// SpanLog returns the attached span log (possibly nil).
-func (p *Proc) SpanLog() *trace.SpanLog { return p.spans }
+// Tracer returns the attached span sink (possibly nil).
+func (p *Proc) Tracer() *trace.RankTracer { return p.tr }
 
 // Compute charges the given number of floating point operations to this
 // processor's clock.
@@ -132,7 +140,9 @@ func (p *Proc) Compute(flops int64) {
 	dt := p.m.cfg.ComputeTime(flops)
 	start := p.clock.Seconds()
 	p.clock.Advance(dt)
-	p.spans.Record(p.rank, "compute", "", start, p.clock.Seconds())
+	if p.tr != nil {
+		p.tr.Emit(trace.Span{Kind: trace.KindCompute, Start: start, Dur: dt, N: flops})
+	}
 	p.stats.Flops += flops
 	p.stats.ComputeSeconds += dt
 }
@@ -150,7 +160,10 @@ func (p *Proc) Send(dst, tag int, data []float64) {
 	dt := p.m.cfg.MsgTime(bytes)
 	start := p.clock.Seconds()
 	p.clock.Advance(dt)
-	p.spans.Record(p.rank, "send", "", start, p.clock.Seconds())
+	if p.tr != nil {
+		p.tr.Emit(trace.Span{Kind: trace.KindSend, Start: start, Dur: dt, Peer: dst, Flow: p.flowOut, Bytes: bytes})
+	}
+	p.flowOut = 0
 	p.stats.Comm.MessagesSent++
 	p.stats.Comm.BytesSent += bytes
 	p.stats.Comm.Seconds += dt
@@ -176,9 +189,23 @@ func (p *Proc) Recv(src, tag int) []float64 {
 	}
 	before := p.clock.Seconds()
 	p.clock.SyncTo(msg.atTime)
-	p.spans.Record(p.rank, "wait", "", before, p.clock.Seconds())
-	p.stats.Comm.Seconds += p.clock.Seconds() - before
+	wait := p.clock.Seconds() - before
+	if p.tr != nil {
+		p.tr.Emit(trace.Span{Kind: trace.KindWait, Start: before, Dur: wait, Peer: src, Flow: p.flowIn})
+	}
+	p.flowIn = 0
+	p.stats.Comm.Seconds += wait
 	return msg.data
+}
+
+// collective marks entry into a collective operation: one instant per
+// CommStats.Collectives increment, which is what lets the reconciler
+// recover the collective count from the spans.
+func (p *Proc) collective(name string) {
+	p.stats.Comm.Collectives++
+	if p.tr != nil {
+		p.tr.Emit(trace.Span{Kind: trace.KindCollective, Label: name, Start: p.clock.Seconds()})
+	}
 }
 
 // relRank maps rank into the rotated space where root is 0.
@@ -195,7 +222,7 @@ func (p *Proc) absRank(rel, root int) int {
 // a binomial tree rooted at root. On root it returns the full sum; on
 // other processors it returns nil. len(data) must match on all processors.
 func (p *Proc) Reduce(root, tag int, data []float64) []float64 {
-	p.stats.Comm.Collectives++
+	p.collective("reduce")
 	acc := make([]float64, len(data))
 	copy(acc, data)
 	r := p.relRank(root)
@@ -233,7 +260,7 @@ func (p *Proc) addInto(dst, src []float64) {
 // Bcast distributes root's data to every processor using a binomial tree
 // and returns the received copy (on root, data itself).
 func (p *Proc) Bcast(root, tag int, data []float64) []float64 {
-	p.stats.Comm.Collectives++
+	p.collective("bcast")
 	r := p.relRank(root)
 	size := p.Size()
 	// Find the highest mask so receive happens before sends.
@@ -292,7 +319,7 @@ func (p *Proc) Barrier(tag int) {
 // returns a slice indexed by rank; elsewhere nil. Contributions may have
 // different lengths.
 func (p *Proc) Gather(root, tag int, data []float64) [][]float64 {
-	p.stats.Comm.Collectives++
+	p.collective("gather")
 	if p.rank != root {
 		p.Send(root, internalTagBase+tag, data)
 		return nil
@@ -313,7 +340,7 @@ func (p *Proc) Gather(root, tag int, data []float64) [][]float64 {
 // Scatter distributes parts (indexed by rank, significant on root only)
 // from root and returns this processor's part.
 func (p *Proc) Scatter(root, tag int, parts [][]float64) []float64 {
-	p.stats.Comm.Collectives++
+	p.collective("scatter")
 	if p.rank == root {
 		for r := 0; r < p.Size(); r++ {
 			if r == root {
@@ -332,7 +359,9 @@ func (p *Proc) Scatter(root, tag int, parts [][]float64) []float64 {
 // received, indexed by source rank. parts[rank] is kept locally (copied).
 // Used by array redistribution.
 func (p *Proc) AllToAll(tag int, parts [][]float64) [][]float64 {
-	p.stats.Comm.Collectives++
+	p.collective("all-to-all")
+	seq := p.a2aSeq
+	p.a2aSeq++
 	size := p.Size()
 	if len(parts) != size {
 		panic(fmt.Sprintf("mp: AllToAll wants %d parts, got %d", size, len(parts)))
@@ -346,10 +375,25 @@ func (p *Proc) AllToAll(tag int, parts [][]float64) [][]float64 {
 	for i := 1; i < size; i++ {
 		dst := (p.rank + i) % size
 		src := (p.rank - i + size) % size
+		sb := int64(len(parts[dst])) * int64(p.m.cfg.ElemSize)
 		p.stats.Comm.ShuffleMessages++
-		p.stats.Comm.ShuffleBytes += int64(len(parts[dst])) * int64(p.m.cfg.ElemSize)
+		p.stats.Comm.ShuffleBytes += sb
+		if p.tr != nil {
+			p.tr.Emit(trace.Span{Kind: trace.KindShuffle, Start: p.clock.Seconds(), Peer: dst, Bytes: sb})
+			// Both partners compute the same ids from (tag, seq, src, dst),
+			// linking this send to the matching wait on dst in the export.
+			p.flowOut = flowID(tag, seq, p.rank, dst)
+			p.flowIn = flowID(tag, seq, src, p.rank)
+		}
 		p.Send(dst, internalTagBase+tag, parts[dst])
 		out[src] = p.Recv(src, internalTagBase+tag)
 	}
 	return out
+}
+
+// flowID derives a display-only id for an AllToAll message from facts
+// both endpoints know, so no ids travel with the data.
+func flowID(tag int, seq int64, src, dst int) uint64 {
+	h := uint64(tag)*0x9E3779B97F4A7C15 ^ uint64(seq)*0xBF58476D1CE4E5B9 ^ uint64(src)<<32 ^ uint64(dst)<<1
+	return h | 1
 }

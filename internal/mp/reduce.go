@@ -54,7 +54,7 @@ var (
 // operator, returning the result on root and nil elsewhere. Each combine
 // step is charged as len(data) flops.
 func (p *Proc) ReduceWith(root, tag int, data []float64, op Op) []float64 {
-	p.stats.Comm.Collectives++
+	p.collective(op.Name())
 	acc := make([]float64, len(data))
 	copy(acc, data)
 	r := p.relRank(root)

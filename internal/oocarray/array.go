@@ -67,7 +67,6 @@ type Array struct {
 	laf   *iosim.LAF
 	clock *sim.Clock
 	opts  Options
-	spans *trace.SpanLog
 }
 
 // New creates the out-of-core local array of processor proc for the global
@@ -137,19 +136,25 @@ func (a *Array) GlobalIndex(li, lj int) (gi, gj int) {
 	return gi, gj
 }
 
-// SetSpanLog attaches a span log; I/O intervals are recorded into it for
-// timeline rendering. A nil log disables recording.
-func (a *Array) SetSpanLog(l *trace.SpanLog) { a.spans = l }
-
 // charge applies a simulated duration to the processor clock, if
-// attached, recording the interval under the given span kind.
+// attached. Span recording happens at the disk layer (the slab span's
+// interval is exactly the charge the caller applies here); kind is kept
+// for the collective I/O layer's Charge callback signature.
 func (a *Array) charge(kind string, seconds float64) {
 	if a.clock == nil {
 		return
 	}
-	start := a.clock.Seconds()
 	a.clock.Advance(seconds)
-	a.spans.Record(a.proc, kind, a.Name(), start, a.clock.Seconds())
+}
+
+// emitIOWait records the stall of an overlap pipeline that waited for a
+// previously issued transfer, from start to the current clock.
+func (a *Array) emitIOWait(start float64) {
+	if tr, _, label := a.laf.Disk().TraceSink(); tr != nil {
+		if now := a.clock.Seconds(); now > start {
+			tr.Emit(trace.Span{Kind: trace.KindIOWait, Label: label, Start: start, Dur: now - start})
+		}
+	}
 }
 
 // collioSide exposes the array to the collective I/O layer.

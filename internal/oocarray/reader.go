@@ -41,7 +41,7 @@ func (r *SlabReader) Next() (icla *ICLA, ok bool, err error) {
 		if r.arr.clock != nil {
 			start := r.arr.clock.Seconds()
 			r.arr.clock.SyncTo(r.pendingReady)
-			r.arr.spans.Record(r.arr.proc, "io-wait", r.arr.Name(), start, r.arr.clock.Seconds())
+			r.arr.emitIOWait(start)
 		}
 	} else {
 		var sec float64
@@ -53,7 +53,10 @@ func (r *SlabReader) Next() (icla *ICLA, ok bool, err error) {
 	}
 	r.next++
 	if r.arr.opts.Prefetch && r.next < r.slb.Count {
+		d := r.arr.laf.Disk()
+		d.SetDeferred(true)
 		pre, sec, err := r.arr.readSlabRaw(r.slb, r.next)
+		d.SetDeferred(false)
 		if err != nil {
 			return nil, false, err
 		}

@@ -25,9 +25,12 @@ func (w *SlabWriter) Write(s *ICLA) error {
 	if w.active && w.arr.clock != nil {
 		start := w.arr.clock.Seconds()
 		w.arr.clock.SyncTo(w.pendingReady)
-		w.arr.spans.Record(w.arr.proc, "io-wait", w.arr.Name(), start, w.arr.clock.Seconds())
+		w.arr.emitIOWait(start)
 	}
+	d := w.arr.laf.Disk()
+	d.SetDeferred(true)
 	sec, err := w.arr.writeSectionRaw(s)
+	d.SetDeferred(false)
 	if err != nil {
 		return err
 	}
@@ -45,7 +48,7 @@ func (w *SlabWriter) Flush() {
 		if w.arr.clock != nil {
 			start := w.arr.clock.Seconds()
 			w.arr.clock.SyncTo(w.pendingReady)
-			w.arr.spans.Record(w.arr.proc, "io-wait", w.arr.Name(), start, w.arr.clock.Seconds())
+			w.arr.emitIOWait(start)
 		}
 		w.active = false
 	}

@@ -506,6 +506,10 @@ func (st *Store) WriteThrough(d *iosim.Disk, name string, byteOff, n int64, buf 
 		s.ParityWrites += r
 		s.ParityBytesRead += widened + pbytes
 		s.ParityBytesWritten += pbytes
+		if tr, now, label := d.TraceSink(); tr != nil {
+			tr.Emit(trace.Span{Kind: trace.KindParityRMW, Label: label, Start: now,
+				N: 1 + r, M: r, Bytes: widened + pbytes, Bytes2: pbytes})
+		}
 	}
 	sec += st.cfg.IOTime(int(1+2*r), widened+2*pbytes)
 	return sec, nil

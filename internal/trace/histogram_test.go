@@ -30,6 +30,57 @@ func TestHistogramBucketing(t *testing.T) {
 	}
 }
 
+func TestHistogramBucketBoundaries(t *testing.T) {
+	cases := map[int64]int{
+		0:          0,
+		1:          0,
+		2:          1,
+		3:          2,
+		4:          2, // exact power of two lands in its own bucket
+		1024:       10,
+		1025:       11,
+		1 << 29:    29,
+		1<<29 + 1:  30,
+		1 << 30:    30, // last bucket: exactly 1 GiB
+		1<<30 + 1:  30, // and everything beyond clamps into it
+		1 << 40:    30,
+		(1 << 62):  30,
+		maxInt64(): 30,
+	}
+	for bytes, want := range cases {
+		if got := histBucket(bytes); got != want {
+			t.Errorf("histBucket(%d) = %d, want %d", bytes, got, want)
+		}
+	}
+}
+
+func maxInt64() int64 { return 1<<63 - 1 }
+
+func TestHistLabelRendersEveryUnit(t *testing.T) {
+	cases := map[int]string{
+		0:  "1B",
+		9:  "512B",
+		10: "1KiB",
+		20: "1MiB",
+		29: "512MiB",
+		30: "1GiB",
+	}
+	for bucket, want := range cases {
+		if got := histLabel(bucket); got != want {
+			t.Errorf("histLabel(%d) = %q, want %q", bucket, got, want)
+		}
+	}
+}
+
+func TestHistogramStringGiB(t *testing.T) {
+	var h SizeHistogram
+	h.Observe(1 << 30)
+	h.Observe(1 << 40) // clamps into the same final bucket
+	if got := h.String(); got != "<=1GiB:2" {
+		t.Errorf("GiB bucket renders %q, want \"<=1GiB:2\"", got)
+	}
+}
+
 func TestHistogramAddAndMax(t *testing.T) {
 	var a, b SizeHistogram
 	a.Observe(512)

@@ -1,0 +1,170 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// PathSeg is one stretch of the critical path: Seconds of Phase on Rank.
+// Phase "idle" marks untraced gaps (setup, span-free stretches).
+type PathSeg struct {
+	Rank    int
+	Phase   string
+	Seconds float64
+}
+
+// CriticalPath walks backwards from the moment the last rank finished
+// and reports the chain of spans that bounds the elapsed time. From the
+// current (rank, time) frontier it steps to the latest timeline span on
+// that rank ending at or before the frontier; a receive wait hops to
+// the sending rank (the wait ends exactly when the sender's message was
+// injected, so the sender's own spans continue the chain there).
+// Consecutive stretches of the same rank and phase are merged. The
+// returned segments run from the start of the run to the end and sum,
+// together with "idle" gaps, to the elapsed time.
+func CriticalPath(spans []Span, procs int) ([]PathSeg, float64) {
+	perRank := make([][]Span, procs)
+	elapsed := 0.0
+	for _, s := range spans {
+		if s.Rank < 0 || s.Rank >= procs || !timelinePhase(s) || s.Dur <= 0 {
+			continue
+		}
+		perRank[s.Rank] = append(perRank[s.Rank], s)
+		if s.End() > elapsed {
+			elapsed = s.End()
+		}
+	}
+	for r := range perRank {
+		sort.SliceStable(perRank[r], func(i, j int) bool { return perRank[r][i].End() < perRank[r][j].End() })
+	}
+	rank := 0
+	for r := range perRank {
+		if n := len(perRank[r]); n > 0 && perRank[r][n-1].End() >= elapsed {
+			rank = r
+		}
+	}
+
+	const eps = 1e-12
+	var segs []PathSeg
+	add := func(r int, phase string, sec float64) {
+		if sec <= 0 {
+			return
+		}
+		if n := len(segs); n > 0 && segs[n-1].Rank == r && segs[n-1].Phase == phase {
+			segs[n-1].Seconds += sec
+			return
+		}
+		segs = append(segs, PathSeg{Rank: r, Phase: phase, Seconds: sec})
+	}
+	t := elapsed
+	for steps := 0; t > eps && steps <= len(spans)+procs+1000; steps++ {
+		lane := perRank[rank]
+		// Latest span on this rank ending at or before the frontier.
+		i := sort.Search(len(lane), func(i int) bool { return lane[i].End() > t+eps }) - 1
+		if i < 0 {
+			add(rank, "idle", t)
+			t = 0
+			break
+		}
+		s := lane[i]
+		if s.End() < t-eps {
+			add(rank, "idle", t-s.End())
+			t = s.End()
+			continue
+		}
+		if s.Kind == KindWait && s.Peer >= 0 && s.Peer < procs && s.Peer != rank && s.Dur > eps {
+			// The wait ended when the sender injected the message: the
+			// chain continues on the sending rank at the same instant.
+			rank = s.Peer
+			continue
+		}
+		add(rank, phaseOf(s), s.Dur)
+		t = s.Start
+	}
+	if t > eps {
+		add(rank, "idle", t)
+	}
+	// Walked backwards; present start-to-end.
+	for i, j := 0, len(segs)-1; i < j; i, j = i+1, j-1 {
+		segs[i], segs[j] = segs[j], segs[i]
+	}
+	return segs, elapsed
+}
+
+// TopBottlenecks aggregates the critical path by (rank, phase) and
+// returns the k largest contributions.
+func TopBottlenecks(segs []PathSeg, k int) []PathSeg {
+	agg := map[[2]any]*PathSeg{}
+	for _, s := range segs {
+		key := [2]any{s.Rank, s.Phase}
+		if a := agg[key]; a != nil {
+			a.Seconds += s.Seconds
+		} else {
+			c := s
+			agg[key] = &c
+		}
+	}
+	out := make([]PathSeg, 0, len(agg))
+	for _, s := range agg {
+		out = append(out, *s)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Seconds != out[j].Seconds {
+			return out[i].Seconds > out[j].Seconds
+		}
+		if out[i].Rank != out[j].Rank {
+			return out[i].Rank < out[j].Rank
+		}
+		return out[i].Phase < out[j].Phase
+	})
+	if k > 0 && len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// FormatCriticalPath renders the walk and its top contributors.
+func FormatCriticalPath(segs []PathSeg, elapsed float64, topK int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "critical path bounding %.2f simulated seconds:\n", elapsed)
+	if len(segs) == 0 {
+		b.WriteString("  (no timeline spans recorded)\n")
+		return b.String()
+	}
+	for _, s := range TopBottlenecks(segs, topK) {
+		pct := 0.0
+		if elapsed > 0 {
+			pct = s.Seconds / elapsed * 100
+		}
+		fmt.Fprintf(&b, "  rank %2d %-22s %10.2fs  %5.1f%%\n", s.Rank, s.Phase, s.Seconds, pct)
+	}
+	// Render the chain with runs of short segments (under 0.5% of the
+	// elapsed time) elided, so deeply interleaved runs stay readable.
+	cutoff := elapsed * 0.005
+	var chain []string
+	skipped, skippedSec := 0, 0.0
+	flush := func() {
+		if skipped > 0 {
+			chain = append(chain, fmt.Sprintf("[%d short, %.2fs]", skipped, skippedSec))
+			skipped, skippedSec = 0, 0
+		}
+	}
+	for _, s := range segs {
+		if s.Seconds < cutoff {
+			skipped++
+			skippedSec += s.Seconds
+			continue
+		}
+		flush()
+		chain = append(chain, fmt.Sprintf("p%d:%s %.2fs", s.Rank, s.Phase, s.Seconds))
+	}
+	flush()
+	const maxChain = 24
+	if len(chain) > maxChain {
+		rest := len(chain) - maxChain
+		chain = append(chain[:maxChain:maxChain], fmt.Sprintf("... (+%d more)", rest))
+	}
+	fmt.Fprintf(&b, "  chain: %s\n", strings.Join(chain, " -> "))
+	return b.String()
+}

@@ -1,0 +1,178 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+)
+
+// RankReplay is the statistics reconstructed from one rank's spans. If
+// the instrumentation is sound, it matches the rank's accumulated
+// counters exactly — counts, bytes and (because float64 addition is
+// replayed in emission order) seconds to the digit.
+type RankReplay struct {
+	// IO holds one reconstructed IOStats per statistics sink label
+	// (array name, "(parity)", ...).
+	IO             map[string]*IOStats
+	Comm           CommStats
+	Flops          int64
+	ComputeSeconds float64
+}
+
+// ReplayRank folds one rank's spans, in emission order, back into
+// statistics. Each Kind maps to exactly the counter bumps performed at
+// its emission site:
+//
+//   - IOStats.Seconds is the ordered sum of slab-read/slab-write,
+//     open-recover and parity-sync durations (the three places the
+//     runtime charges I/O seconds at top level);
+//   - RetrySeconds is the ordered sum of retry backoffs;
+//   - CommStats.Seconds is the ordered sum of send and wait durations;
+//   - request counts, byte totals and the size histograms come from the
+//     read-req/write-req instants, parity payloads from parity-rmw.
+func ReplayRank(spans []Span) *RankReplay {
+	r := &RankReplay{IO: map[string]*IOStats{}}
+	sink := func(label string) *IOStats {
+		io := r.IO[label]
+		if io == nil {
+			io = &IOStats{}
+			r.IO[label] = io
+		}
+		return io
+	}
+	for _, s := range spans {
+		switch s.Kind {
+		case KindSlabRead:
+			io := sink(s.Label)
+			io.SlabReads++
+			io.Seconds += s.Dur
+		case KindSlabWrite:
+			io := sink(s.Label)
+			io.SlabWrites++
+			io.Seconds += s.Dur
+		case KindOpenRecover:
+			sink(s.Label).Seconds += s.Dur
+		case KindParitySync:
+			sink(s.Label).Seconds += s.Dur
+		case KindReadReq:
+			io := sink(s.Label)
+			io.ReadRequests++
+			io.BytesRead += s.Bytes
+			io.ReadSizes.Observe(s.Bytes)
+		case KindWriteReq:
+			io := sink(s.Label)
+			io.WriteRequests++
+			io.BytesWritten += s.Bytes
+			io.WriteSizes.Observe(s.Bytes)
+		case KindRetry:
+			io := sink(s.Label)
+			io.Retries++
+			io.RetrySeconds += s.Dur
+		case KindGiveUp:
+			sink(s.Label).GiveUps++
+		case KindCorruption:
+			sink(s.Label).Corruptions++
+		case KindParityRMW:
+			io := sink(s.Label)
+			io.ParityReads += s.N
+			io.ParityWrites += s.M
+			io.ParityBytesRead += s.Bytes
+			io.ParityBytesWritten += s.Bytes2
+		case KindParityRebuild:
+			sink(s.Label).ParityRebuilds += s.N
+		case KindReconstruct:
+			io := sink(s.Label)
+			io.Reconstructions++
+			io.ReconstructedBlocks += s.N
+			io.ReconstructedBytes += s.Bytes
+		case KindRecoveryComm:
+			r.Comm.RecoveryMessages += s.N
+			r.Comm.RecoveryBytes += s.Bytes
+		case KindSend:
+			r.Comm.MessagesSent++
+			r.Comm.BytesSent += s.Bytes
+			r.Comm.Seconds += s.Dur
+		case KindWait:
+			r.Comm.Seconds += s.Dur
+		case KindCollective:
+			r.Comm.Collectives++
+		case KindShuffle:
+			r.Comm.ShuffleMessages++
+			r.Comm.ShuffleBytes += s.Bytes
+		case KindCompute:
+			r.Flops += s.N
+			r.ComputeSeconds += s.Dur
+		}
+	}
+	return r
+}
+
+// TotalIO folds the per-sink statistics in sorted label order — the
+// same order the executor folds per-array sinks into the processor
+// total, so the float sums agree exactly.
+func (r *RankReplay) TotalIO() IOStats {
+	labels := make([]string, 0, len(r.IO))
+	for l := range r.IO {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	var t IOStats
+	for _, l := range labels {
+		t.Add(*r.IO[l])
+	}
+	return t
+}
+
+// Reconcile verifies that the spans reproduce the run's statistics
+// exactly. spans must keep each rank's emission order (Tracer.Spans and
+// the export/import round trip both do). perArray, when non-nil, gives
+// the expected per-sink statistics per rank and is checked sink by
+// sink; otherwise only per-rank totals are compared. The first
+// discrepancy is returned as an error naming rank, sink and field view.
+func Reconcile(spans []Span, stats *Stats, perArray []map[string]*IOStats) error {
+	byRank := make([][]Span, len(stats.Procs))
+	for _, s := range spans {
+		if s.Rank < 0 || s.Rank >= len(byRank) {
+			return fmt.Errorf("trace: span on rank %d outside the run's %d processors", s.Rank, len(byRank))
+		}
+		byRank[s.Rank] = append(byRank[s.Rank], s)
+	}
+	for rank := range stats.Procs {
+		ps := &stats.Procs[rank]
+		rep := ReplayRank(byRank[rank])
+		if perArray != nil {
+			want := perArray[rank]
+			labels := map[string]bool{}
+			for l := range want {
+				labels[l] = true
+			}
+			for l := range rep.IO {
+				labels[l] = true
+			}
+			for l := range labels {
+				var w, g IOStats
+				if st := want[l]; st != nil {
+					w = *st
+				}
+				if st := rep.IO[l]; st != nil {
+					g = *st
+				}
+				if w != g {
+					return fmt.Errorf("trace: rank %d sink %q: spans replay to\n%+v\nbut counters say\n%+v", rank, l, g, w)
+				}
+			}
+		}
+		if got := rep.TotalIO(); got != ps.IO {
+			return fmt.Errorf("trace: rank %d I/O totals: spans replay to\n%+v\nbut counters say\n%+v", rank, got, ps.IO)
+		}
+		if rep.Comm != ps.Comm {
+			return fmt.Errorf("trace: rank %d comm: spans replay to\n%+v\nbut counters say\n%+v", rank, rep.Comm, ps.Comm)
+		}
+		if rep.Flops != ps.Flops {
+			return fmt.Errorf("trace: rank %d flops: spans replay to %d but counters say %d", rank, rep.Flops, ps.Flops)
+		}
+		if rep.ComputeSeconds != ps.ComputeSeconds {
+			return fmt.Errorf("trace: rank %d compute seconds: spans replay to %v but counters say %v", rank, rep.ComputeSeconds, ps.ComputeSeconds)
+		}
+	}
+	return nil
+}

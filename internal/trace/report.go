@@ -1,0 +1,130 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// phaseOf buckets a span into a reportable phase. Overlay kinds and
+// pure instants return "" and are left out of time attribution;
+// deferred transfers get their own phases because their seconds are
+// not on the synchronous timeline (the stalls they cause are, as
+// "io-stall").
+func phaseOf(s Span) string {
+	switch s.Kind {
+	case KindCompute:
+		return "compute"
+	case KindSend:
+		return "comm-send"
+	case KindWait:
+		return "comm-wait"
+	case KindIOWait:
+		return "io-stall"
+	case KindSlabRead:
+		if s.Deferred {
+			return "io-read (overlapped)"
+		}
+		return "io-read"
+	case KindSlabWrite:
+		if s.Deferred {
+			return "io-write (overlapped)"
+		}
+		return "io-write"
+	case KindRetry:
+		return "retry-backoff"
+	case KindParitySync, KindReconstruct, KindOpenRecover:
+		return "recovery"
+	default:
+		return ""
+	}
+}
+
+// timelinePhase reports whether the phase occupies the issuing rank's
+// synchronous clock (overlapped transfers and backoff folded into
+// other spans do not).
+func timelinePhase(s Span) bool {
+	if s.Deferred {
+		return false
+	}
+	switch s.Kind {
+	case KindCompute, KindSend, KindWait, KindIOWait, KindSlabRead, KindSlabWrite, KindParitySync:
+		return true
+	}
+	return false
+}
+
+// PhaseShare is one phase's slice of the run in the attribution report.
+type PhaseShare struct {
+	Phase   string
+	PerRank []float64
+	// Total is the phase's simulated seconds summed over ranks; Pct its
+	// mean per-rank share of the elapsed time, in percent.
+	Total float64
+	Pct   float64
+	// Imbalance is max/mean over the ranks that are nonzero anywhere in
+	// the run; 1 means perfectly balanced.
+	Imbalance float64
+}
+
+// PhaseReport attributes every timeline span to a phase and returns the
+// shares sorted by total time, largest first. Overlapped transfer time
+// is reported too (flagged in the phase name) but does not count toward
+// the elapsed timeline.
+func PhaseReport(spans []Span, procs int, elapsed float64) []PhaseShare {
+	perPhase := map[string][]float64{}
+	for _, s := range spans {
+		if s.Dur <= 0 || s.Rank < 0 || s.Rank >= procs {
+			continue
+		}
+		ph := phaseOf(s)
+		if ph == "" {
+			continue
+		}
+		lane := perPhase[ph]
+		if lane == nil {
+			lane = make([]float64, procs)
+			perPhase[ph] = lane
+		}
+		lane[s.Rank] += s.Dur
+	}
+	shares := make([]PhaseShare, 0, len(perPhase))
+	for ph, lane := range perPhase {
+		sh := PhaseShare{Phase: ph, PerRank: lane}
+		max := 0.0
+		for _, v := range lane {
+			sh.Total += v
+			if v > max {
+				max = v
+			}
+		}
+		mean := sh.Total / float64(procs)
+		if elapsed > 0 {
+			sh.Pct = mean / elapsed * 100
+		}
+		if mean > 0 {
+			sh.Imbalance = max / mean
+		}
+		shares = append(shares, sh)
+	}
+	sort.Slice(shares, func(i, j int) bool {
+		if shares[i].Total != shares[j].Total {
+			return shares[i].Total > shares[j].Total
+		}
+		return shares[i].Phase < shares[j].Phase
+	})
+	return shares
+}
+
+// FormatPhaseReport renders the attribution table.
+func FormatPhaseReport(shares []PhaseShare, elapsed float64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "phase attribution over %.2f simulated seconds (pct = mean per-rank share, imbalance = max/mean):\n", elapsed)
+	for _, sh := range shares {
+		fmt.Fprintf(&b, "  %-22s %10.2fs  %6.1f%%  imbalance %.2f\n", sh.Phase, sh.Total, sh.Pct, sh.Imbalance)
+	}
+	if len(shares) == 0 {
+		b.WriteString("  (no timeline spans recorded)\n")
+	}
+	return b.String()
+}

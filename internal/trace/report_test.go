@@ -1,0 +1,125 @@
+package trace
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestPhaseReportSharesAndImbalance(t *testing.T) {
+	// Two ranks over a 4-second run: rank 0 computes 3s, rank 1 computes
+	// 1s, both read 1s; rank 1's deferred write must not count.
+	spans := []Span{
+		{Rank: 0, Kind: KindCompute, Start: 0, Dur: 3},
+		{Rank: 0, Kind: KindSlabRead, Label: "a", Start: 3, Dur: 1},
+		{Rank: 1, Kind: KindCompute, Start: 0, Dur: 1},
+		{Rank: 1, Kind: KindSlabRead, Label: "a", Start: 1, Dur: 1},
+		{Rank: 1, Kind: KindSlabWrite, Label: "c", Start: 2, Dur: 5, Deferred: true},
+		{Rank: 1, Kind: KindNode, Label: "loop i", Start: 0, Dur: 4}, // overlay: excluded
+	}
+	rep := PhaseReport(spans, 2, 4)
+	byPhase := map[string]PhaseShare{}
+	for _, p := range rep {
+		byPhase[p.Phase] = p
+	}
+	c, ok := byPhase["compute"]
+	if !ok {
+		t.Fatal("no compute phase in report")
+	}
+	if c.Total != 4 {
+		t.Errorf("compute total = %v, want 4", c.Total)
+	}
+	// mean share = 4s / (2 ranks * 4s) = 50%; imbalance = 3 / 2 = 1.5.
+	if math.Abs(c.Pct-50) > 1e-9 {
+		t.Errorf("compute pct = %v, want 50", c.Pct)
+	}
+	if math.Abs(c.Imbalance-1.5) > 1e-9 {
+		t.Errorf("compute imbalance = %v, want 1.5", c.Imbalance)
+	}
+	if w, ok := byPhase["io-write (overlapped)"]; !ok || w.Total != 5 {
+		t.Errorf("deferred write should report as overlapped (got %+v)", byPhase)
+	}
+	if rep[0].Phase != "io-write (overlapped)" {
+		t.Errorf("report not sorted by total desc: first is %q", rep[0].Phase)
+	}
+	out := FormatPhaseReport(rep, 4)
+	if !strings.Contains(out, "compute") || !strings.Contains(out, "imbalance") {
+		t.Errorf("formatted report missing content:\n%s", out)
+	}
+}
+
+func TestCriticalPathHopsToSender(t *testing.T) {
+	// Rank 1 waits for rank 0's message, so the chain must route through
+	// rank 0's compute, then finish with rank 1's own compute.
+	spans := []Span{
+		{Rank: 0, Kind: KindCompute, Start: 0, Dur: 1},
+		{Rank: 0, Kind: KindSend, Start: 1, Dur: 0.1, Peer: 1},
+		{Rank: 1, Kind: KindWait, Start: 0, Dur: 1.1, Peer: 0},
+		{Rank: 1, Kind: KindCompute, Start: 1.1, Dur: 1},
+	}
+	segs, elapsed := CriticalPath(spans, 2)
+	if elapsed != 2.1 {
+		t.Fatalf("elapsed = %v, want 2.1", elapsed)
+	}
+	want := []PathSeg{
+		{Rank: 0, Phase: "compute", Seconds: 1},
+		{Rank: 0, Phase: "comm-send", Seconds: 0.1},
+		{Rank: 1, Phase: "compute", Seconds: 1},
+	}
+	if len(segs) != len(want) {
+		t.Fatalf("path %+v, want %+v", segs, want)
+	}
+	for i := range want {
+		if segs[i].Rank != want[i].Rank || segs[i].Phase != want[i].Phase ||
+			math.Abs(segs[i].Seconds-want[i].Seconds) > 1e-9 {
+			t.Errorf("seg %d = %+v, want %+v", i, segs[i], want[i])
+		}
+	}
+	var sum float64
+	for _, s := range segs {
+		sum += s.Seconds
+	}
+	if math.Abs(sum-elapsed) > 1e-9 {
+		t.Errorf("path sums to %v, elapsed is %v", sum, elapsed)
+	}
+}
+
+func TestCriticalPathCoversGapsWithIdle(t *testing.T) {
+	spans := []Span{
+		{Rank: 0, Kind: KindCompute, Start: 2, Dur: 1},
+	}
+	segs, elapsed := CriticalPath(spans, 1)
+	if elapsed != 3 {
+		t.Fatalf("elapsed = %v", elapsed)
+	}
+	if len(segs) != 2 || segs[0].Phase != "idle" || segs[0].Seconds != 2 || segs[1].Phase != "compute" {
+		t.Fatalf("path %+v, want idle 2s then compute 1s", segs)
+	}
+}
+
+func TestTopBottlenecksAggregates(t *testing.T) {
+	segs := []PathSeg{
+		{Rank: 0, Phase: "compute", Seconds: 1},
+		{Rank: 1, Phase: "io-read", Seconds: 3},
+		{Rank: 0, Phase: "compute", Seconds: 2},
+	}
+	top := TopBottlenecks(segs, 1)
+	if len(top) != 1 || top[0].Rank != 0 || top[0].Phase != "compute" || top[0].Seconds != 3 {
+		t.Fatalf("top = %+v", top)
+	}
+}
+
+func TestFormatCriticalPathElidesShortSegments(t *testing.T) {
+	segs := make([]PathSeg, 0, 101)
+	segs = append(segs, PathSeg{Rank: 0, Phase: "io-read", Seconds: 10})
+	for i := 0; i < 100; i++ {
+		segs = append(segs, PathSeg{Rank: i % 2, Phase: "compute", Seconds: 0.001}, PathSeg{Rank: 1, Phase: "comm-wait", Seconds: 0.001})
+	}
+	out := FormatCriticalPath(segs, 10.2, 3)
+	if !strings.Contains(out, "short") {
+		t.Errorf("long chains should elide short segments:\n%s", out)
+	}
+	if n := len(strings.Split(out, "\n")); n > 10 {
+		t.Errorf("formatted path is %d lines", n)
+	}
+}

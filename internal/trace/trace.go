@@ -8,14 +8,15 @@ import (
 	"encoding/json"
 	"fmt"
 	"math/bits"
+	"reflect"
 	"strings"
 )
 
 // HistBuckets is the number of power-of-two size classes tracked by
 // SizeHistogram. Bucket i counts requests of at most 2^i bytes, so the
-// last bucket (2^27 = 128 MiB) comfortably covers any single request the
+// last bucket (2^30 = 1 GiB) comfortably covers any single request the
 // simulated machine can issue.
-const HistBuckets = 28
+const HistBuckets = 31
 
 // SizeHistogram classifies I/O requests by size into power-of-two byte
 // buckets. Totals alone cannot show aggregation wins — replacing 1024
@@ -70,10 +71,12 @@ func (h SizeHistogram) Total() int64 {
 }
 
 // histLabel renders the upper bound of bucket i compactly ("512B",
-// "4KiB", "2MiB").
+// "4KiB", "2MiB", "1GiB").
 func histLabel(i int) string {
 	size := int64(1) << i
 	switch {
+	case size >= 1<<30:
+		return fmt.Sprintf("%dGiB", size>>30)
 	case size >= 1<<20:
 		return fmt.Sprintf("%dMiB", size>>20)
 	case size >= 1<<10:
@@ -164,29 +167,11 @@ type IOStats struct {
 	WriteSizes SizeHistogram
 }
 
-// Add accumulates other into s.
+// Add accumulates other into s, field by field. Aggregation is driven by
+// the struct shape (see combineFields), so a newly added counter can
+// never be silently dropped from the fold.
 func (s *IOStats) Add(other IOStats) {
-	s.SlabReads += other.SlabReads
-	s.SlabWrites += other.SlabWrites
-	s.ReadRequests += other.ReadRequests
-	s.WriteRequests += other.WriteRequests
-	s.BytesRead += other.BytesRead
-	s.BytesWritten += other.BytesWritten
-	s.Seconds += other.Seconds
-	s.Retries += other.Retries
-	s.RetrySeconds += other.RetrySeconds
-	s.Corruptions += other.Corruptions
-	s.GiveUps += other.GiveUps
-	s.ParityReads += other.ParityReads
-	s.ParityWrites += other.ParityWrites
-	s.ParityBytesRead += other.ParityBytesRead
-	s.ParityBytesWritten += other.ParityBytesWritten
-	s.Reconstructions += other.Reconstructions
-	s.ReconstructedBlocks += other.ReconstructedBlocks
-	s.ReconstructedBytes += other.ReconstructedBytes
-	s.ParityRebuilds += other.ParityRebuilds
-	s.ReadSizes.Add(other.ReadSizes)
-	s.WriteSizes.Add(other.WriteSizes)
+	combineFields(reflect.ValueOf(s).Elem(), reflect.ValueOf(&other).Elem(), sumInt, sumFloat, (*SizeHistogram).Add)
 }
 
 // Requests returns the total physical request count.
@@ -217,16 +202,9 @@ type CommStats struct {
 	RecoveryBytes    int64
 }
 
-// Add accumulates other into s.
+// Add accumulates other into s, field by field (see combineFields).
 func (s *CommStats) Add(other CommStats) {
-	s.MessagesSent += other.MessagesSent
-	s.BytesSent += other.BytesSent
-	s.Collectives += other.Collectives
-	s.Seconds += other.Seconds
-	s.ShuffleMessages += other.ShuffleMessages
-	s.ShuffleBytes += other.ShuffleBytes
-	s.RecoveryMessages += other.RecoveryMessages
-	s.RecoveryBytes += other.RecoveryBytes
+	combineFields(reflect.ValueOf(s).Elem(), reflect.ValueOf(&other).Elem(), sumInt, sumFloat, (*SizeHistogram).Add)
 }
 
 // ProcStats aggregates all activity of one processor.
@@ -290,68 +268,54 @@ func (s *Stats) TotalComm() CommStats {
 // processor) correspond to this view on a load-balanced program.
 func (s *Stats) MaxIO() IOStats {
 	var m IOStats
-	for _, p := range s.Procs {
-		if p.IO.SlabReads > m.SlabReads {
-			m.SlabReads = p.IO.SlabReads
-		}
-		if p.IO.SlabWrites > m.SlabWrites {
-			m.SlabWrites = p.IO.SlabWrites
-		}
-		if p.IO.ReadRequests > m.ReadRequests {
-			m.ReadRequests = p.IO.ReadRequests
-		}
-		if p.IO.WriteRequests > m.WriteRequests {
-			m.WriteRequests = p.IO.WriteRequests
-		}
-		if p.IO.BytesRead > m.BytesRead {
-			m.BytesRead = p.IO.BytesRead
-		}
-		if p.IO.BytesWritten > m.BytesWritten {
-			m.BytesWritten = p.IO.BytesWritten
-		}
-		if p.IO.Seconds > m.Seconds {
-			m.Seconds = p.IO.Seconds
-		}
-		if p.IO.Retries > m.Retries {
-			m.Retries = p.IO.Retries
-		}
-		if p.IO.RetrySeconds > m.RetrySeconds {
-			m.RetrySeconds = p.IO.RetrySeconds
-		}
-		if p.IO.Corruptions > m.Corruptions {
-			m.Corruptions = p.IO.Corruptions
-		}
-		if p.IO.GiveUps > m.GiveUps {
-			m.GiveUps = p.IO.GiveUps
-		}
-		if p.IO.ParityReads > m.ParityReads {
-			m.ParityReads = p.IO.ParityReads
-		}
-		if p.IO.ParityWrites > m.ParityWrites {
-			m.ParityWrites = p.IO.ParityWrites
-		}
-		if p.IO.ParityBytesRead > m.ParityBytesRead {
-			m.ParityBytesRead = p.IO.ParityBytesRead
-		}
-		if p.IO.ParityBytesWritten > m.ParityBytesWritten {
-			m.ParityBytesWritten = p.IO.ParityBytesWritten
-		}
-		if p.IO.Reconstructions > m.Reconstructions {
-			m.Reconstructions = p.IO.Reconstructions
-		}
-		if p.IO.ReconstructedBlocks > m.ReconstructedBlocks {
-			m.ReconstructedBlocks = p.IO.ReconstructedBlocks
-		}
-		if p.IO.ReconstructedBytes > m.ReconstructedBytes {
-			m.ReconstructedBytes = p.IO.ReconstructedBytes
-		}
-		if p.IO.ParityRebuilds > m.ParityRebuilds {
-			m.ParityRebuilds = p.IO.ParityRebuilds
-		}
-		m.ReadSizes.MaxOf(p.IO.ReadSizes)
-		m.WriteSizes.MaxOf(p.IO.WriteSizes)
+	mv := reflect.ValueOf(&m).Elem()
+	for i := range s.Procs {
+		combineFields(mv, reflect.ValueOf(&s.Procs[i].IO).Elem(), maxInt, maxFloat, (*SizeHistogram).MaxOf)
 	}
 	return m
+}
+
+func sumInt(a, b int64) int64 { return a + b }
+func maxInt(a, b int64) int64 {
+	if b > a {
+		return b
+	}
+	return a
+}
+func sumFloat(a, b float64) float64 { return a + b }
+func maxFloat(a, b float64) float64 {
+	if b > a {
+		return b
+	}
+	return a
+}
+
+// combineFields folds src into dst field by field: int64 fields through
+// ints, float64 fields through floats, SizeHistogram fields through
+// hists. Both values must be addressable views of the same statistics
+// struct type. Any other field kind panics, which — together with the
+// per-field probe in the aggregation test — guarantees a new counter
+// cannot be added without being picked up by Add, MaxIO and TotalIO.
+func combineFields(dst, src reflect.Value, ints func(a, b int64) int64, floats func(a, b float64) float64, hists func(h *SizeHistogram, o SizeHistogram)) {
+	for i := 0; i < dst.NumField(); i++ {
+		d, s := dst.Field(i), src.Field(i)
+		switch d.Kind() {
+		case reflect.Int64:
+			d.SetInt(ints(d.Int(), s.Int()))
+		case reflect.Float64:
+			d.SetFloat(floats(d.Float(), s.Float()))
+		case reflect.Struct:
+			h, ok := d.Addr().Interface().(*SizeHistogram)
+			if !ok {
+				panic(fmt.Sprintf("trace: cannot aggregate %s field %s",
+					dst.Type().Name(), dst.Type().Field(i).Name))
+			}
+			hists(h, s.Interface().(SizeHistogram))
+		default:
+			panic(fmt.Sprintf("trace: cannot aggregate %s field %s of kind %s",
+				dst.Type().Name(), dst.Type().Field(i).Name, d.Kind()))
+		}
+	}
 }
 
 // String renders a compact human-readable summary.

@@ -36,8 +36,11 @@ type (
 	MachineConfig = sim.Config
 	// Stats holds per-processor execution statistics.
 	Stats = trace.Stats
-	// SpanLog collects a timeline of compute/communication/I/O spans.
-	SpanLog = trace.SpanLog
+	// Tracer collects a timeline of typed compute/communication/I/O
+	// spans against the simulated clocks.
+	Tracer = trace.Tracer
+	// Span is one recorded timeline interval or instant.
+	Span = trace.Span
 	// ExperimentParams parameterizes the evaluation sweeps.
 	ExperimentParams = experiments.Params
 )
@@ -70,8 +73,8 @@ func CompileSource(src string, opts CompileOptions) (*CompileResult, error) {
 	return compiler.CompileSource(src, opts)
 }
 
-// NewSpanLog returns an empty timeline log for ExecOptions.Spans.
-func NewSpanLog() *SpanLog { return trace.NewSpanLog() }
+// NewTracer returns an empty span tracer for ExecOptions.Trace.
+func NewTracer(procs int) *Tracer { return trace.NewTracer(procs) }
 
 // GaxpySource is the paper's Figure 3 program.
 const GaxpySource = hpf.GaxpySource

@@ -67,16 +67,16 @@ func TestPublicMachinesAndSpans(t *testing.T) {
 	if d.ComputeRate >= m.ComputeRate {
 		t.Error("modern machine should be faster")
 	}
-	spans := passion.NewSpanLog()
+	tr := passion.NewTracer(4)
 	res, err := passion.CompileSource(passion.GaxpySource, passion.CompileOptions{N: 32, MemElems: 300})
 	if err != nil {
 		t.Fatal(err)
 	}
 	s := passion.NewSession(4)
-	if _, err := s.Run(res.Program, passion.ExecOptions{Phantom: true, Spans: spans}); err != nil {
+	if _, err := s.Run(res.Program, passion.ExecOptions{Phantom: true, Trace: tr}); err != nil {
 		t.Fatal(err)
 	}
-	if len(spans.Spans()) == 0 {
+	if len(tr.Spans()) == 0 {
 		t.Error("no spans recorded through the facade")
 	}
 }
