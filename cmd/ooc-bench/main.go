@@ -10,6 +10,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -20,6 +21,7 @@ import (
 	"github.com/ooc-hpf/passion/internal/experiments"
 	"github.com/ooc-hpf/passion/internal/oocarray"
 	"github.com/ooc-hpf/passion/internal/sim"
+	"github.com/ooc-hpf/passion/internal/wallbench"
 )
 
 func main() {
@@ -33,8 +35,19 @@ func main() {
 		prefetch   = flag.Bool("prefetch", false, "enable prefetching in the runtime")
 		csvPath    = flag.String("csv", "", "also write CSV output to this file (table1/fig10/table2)")
 		machine    = flag.String("machine", "delta", "machine model: delta (paper calibration) or modern (NVMe-class)")
+
+		wallclock    = flag.Bool("wallclock", false, "run the wall-clock benchmark suite instead of the paper experiments")
+		wallKernels  = flag.String("wallclock-kernels", "", "comma-separated kernel subset (default: all)")
+		wallOut      = flag.String("wallclock-out", "", "write the wall-clock report to this JSON file")
+		wallBaseline = flag.String("wallclock-baseline", "", "compare against this committed baseline and fail on regression")
+		wallNsFactor = flag.Float64("wallclock-ns-factor", 2.0, "allowed ns/op slowdown factor vs the baseline")
 	)
 	flag.Parse()
+
+	if *wallclock {
+		runWallclock(*wallKernels, *wallOut, *wallBaseline, *wallNsFactor)
+		return
+	}
 
 	params := experiments.Params{
 		N:    *n,
@@ -79,6 +92,41 @@ func main() {
 			}
 			fmt.Printf("(csv written to %s)\n\n", path)
 		}
+	}
+}
+
+// runWallclock runs the wall-clock suite (the cost of the simulator
+// itself, not the simulated machine), optionally writing the report and
+// gating it against a committed baseline.
+func runWallclock(kernels, out, baseline string, nsFactor float64) {
+	var names []string
+	if kernels != "" {
+		names = strings.Split(kernels, ",")
+	}
+	rep, err := wallbench.RunSuite(names)
+	if err != nil {
+		fatal(err)
+	}
+	text, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%s\n", text)
+	if out != "" {
+		if err := rep.WriteFile(out); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wallbench: report written to %s\n", out)
+	}
+	if baseline != "" {
+		base, err := wallbench.LoadReport(baseline)
+		if err != nil {
+			fatal(err)
+		}
+		if err := wallbench.Compare(rep, base, nsFactor); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wallbench: within baseline %s (ns/op factor %.1f, allocs exact)\n", baseline, nsFactor)
 	}
 }
 

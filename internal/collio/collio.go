@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"sort"
 
+	"github.com/ooc-hpf/passion/internal/bufpool"
 	"github.com/ooc-hpf/passion/internal/dist"
 	"github.com/ooc-hpf/passion/internal/iosim"
 	"github.com/ooc-hpf/passion/internal/mp"
@@ -175,7 +176,9 @@ func Redistribute(p *mp.Proc, src, dst Side, memElems, tag int, transform func(g
 	}
 	// Ranks may own different column counts; everyone participates in the
 	// collective for the maximum round count.
-	rounds := int(p.AllReduceMax(tag, []float64{float64(myRounds)})[0])
+	rm := p.AllReduceMax(tag, []float64{float64(myRounds)})
+	rounds := int(rm[0])
+	mp.ReleaseBuf(rm)
 
 	recv, err := newReceiver(dst, memElems, method)
 	if err != nil {
@@ -196,10 +199,23 @@ func Redistribute(p *mp.Proc, src, dst Side, memElems, tag int, transform func(g
 		}
 	}
 
-	buf := make([]float64, src.Rows*w)
+	buf := bufpool.GetF64(src.Rows * w)
+	defer bufpool.PutF64(buf)
+	if src.LAF.Disk().Phantom() {
+		// Phantom reads leave the slab untouched; the pooled buffer must
+		// start out zeroed like the make it replaced.
+		clear(buf)
+	}
+	// parts, pairs and the per-round shuffle payloads are reused across
+	// rounds: lengths reset, capacities kept, so steady-state rounds stop
+	// allocating.
+	parts := make([][]float64, size)
+	var pairs []pair
 	for round := 0; round < rounds; round++ {
 		t0 := clock.Seconds()
-		parts := make([][]float64, size)
+		for q := range parts {
+			parts[q] = parts[q][:0]
+		}
 		if round < myRounds {
 			c0 := round * w
 			cw := src.Cols - c0
@@ -216,8 +232,8 @@ func Redistribute(p *mp.Proc, src, dst Side, memElems, tag int, transform func(g
 				for li := 0; li < src.Rows; li++ {
 					gi, gj := src.globalIndex(li, c0+lj)
 					di, dj := transform(gi, gj)
-					owner, local := dst.Map.ToLocal(di, dj)
-					lin := local[1]*dstRowsOf[owner] + local[0]
+					owner, lli, llj := dst.Map.ToLocal2(di, dj)
+					lin := llj*dstRowsOf[owner] + lli
 					parts[owner] = append(parts[owner], float64(lin), data[lj*src.Rows+li])
 				}
 			}
@@ -227,7 +243,7 @@ func Redistribute(p *mp.Proc, src, dst Side, memElems, tag int, transform func(g
 		incoming := p.AllToAll(tag, parts)
 		phase("collio:shuffle", t1)
 		t2 := clock.Seconds()
-		var pairs []pair
+		pairs = pairs[:0]
 		for _, in := range incoming {
 			if len(in)%2 != 0 {
 				return fmt.Errorf("collio: redistribute payload of %d values is not index/value pairs", len(in))
@@ -235,6 +251,7 @@ func Redistribute(p *mp.Proc, src, dst Side, memElems, tag int, transform func(g
 			for i := 0; i < len(in); i += 2 {
 				pairs = append(pairs, pair{lin: int(in[i]), val: in[i+1]})
 			}
+			mp.ReleaseBuf(in)
 		}
 		if err := recv.absorb(pairs); err != nil {
 			return err
@@ -270,23 +287,26 @@ func newReceiver(dst Side, memElems int, method Method) (receiver, error) {
 }
 
 // runReceiver writes each round's pairs immediately, either run by run
-// (Direct) or through a spanning read-modify-write (Sieved).
+// (Direct) or through a spanning read-modify-write (Sieved). The
+// coalesce scratch is reused across rounds.
 type runReceiver struct {
-	dst   Side
-	sieve bool
+	dst    Side
+	sieve  bool
+	chunks []iosim.Chunk
+	vals   []float64
 }
 
 func (r *runReceiver) absorb(pairs []pair) error {
 	if len(pairs) == 0 {
 		return nil
 	}
-	chunks, vals := coalescePairs(pairs)
+	r.chunks, r.vals = coalescePairs(pairs, r.chunks[:0], r.vals[:0])
 	var sec float64
 	var err error
 	if r.sieve {
-		sec, err = AggregateWrite(r.dst.LAF, chunks, vals)
+		sec, err = AggregateWrite(r.dst.LAF, r.chunks, r.vals)
 	} else {
-		sec, err = r.dst.LAF.WriteChunks(chunks, vals)
+		sec, err = r.dst.LAF.WriteChunks(r.chunks, r.vals)
 	}
 	if err != nil {
 		return err
@@ -300,15 +320,14 @@ func (r *runReceiver) cleanup()      {}
 
 // coalescePairs sorts the pairs by destination index and merges
 // consecutive indices into contiguous chunks, returning the chunks and
-// the values packed in chunk order. Duplicate indices are kept in
-// arrival order (each starts a fresh one-element chunk), so the last
-// writer wins as it would element by element.
-func coalescePairs(pairs []pair) ([]iosim.Chunk, []float64) {
+// the values packed in chunk order, appended to the passed-in scratch
+// slices. Duplicate indices are kept in arrival order (each starts a
+// fresh one-element chunk), so the last writer wins as it would element
+// by element.
+func coalescePairs(pairs []pair, chunks []iosim.Chunk, vals []float64) ([]iosim.Chunk, []float64) {
 	sort.SliceStable(pairs, func(i, j int) bool { return pairs[i].lin < pairs[j].lin })
-	vals := make([]float64, len(pairs))
-	var chunks []iosim.Chunk
 	for i, pr := range pairs {
-		vals[i] = pr.val
+		vals = append(vals, pr.val)
 		if i > 0 && pr.lin == pairs[i-1].lin+1 {
 			chunks[len(chunks)-1].Len++
 		} else {
@@ -333,6 +352,7 @@ type twoPhaseReceiver struct {
 	base   []int64
 	elems  []int
 	bufs   [][]float64 // in-memory regime: pair floats per window
+	per    [][]float64 // absorb scratch: pair floats per window, reused per round
 
 	scratch     *iosim.LAF
 	scratchName string
@@ -384,7 +404,13 @@ func (r *twoPhaseReceiver) absorb(pairs []pair) error {
 		return nil
 	}
 	winElems := r.dst.Rows * r.winW
-	per := make([][]float64, r.nWin)
+	if r.per == nil {
+		r.per = make([][]float64, r.nWin)
+	}
+	per := r.per
+	for i := range per {
+		per[i] = per[i][:0]
+	}
 	for _, pr := range pairs {
 		wdx := 0
 		if winElems > 0 {
@@ -429,18 +455,29 @@ func (r *twoPhaseReceiver) finish() error {
 		if r.elems[wdx] == 0 {
 			continue
 		}
-		var pairFloats []float64
+		var pairFloats, pooledPF []float64
 		if r.inMem {
 			pairFloats = r.bufs[wdx]
 		} else if r.spilled[wdx] > 0 {
-			pairFloats = make([]float64, r.spilled[wdx])
+			pooledPF = bufpool.GetF64(int(r.spilled[wdx]))
+			pairFloats = pooledPF
 			sec, err := r.scratch.ReadChunks([]iosim.Chunk{{Off: r.off[wdx], Len: len(pairFloats)}}, pairFloats)
 			if err != nil {
+				bufpool.PutF64(pooledPF)
 				return err
 			}
 			r.dst.charge("io-read", sec)
 		}
-		staging := make([]float64, r.elems[wdx])
+		// Cleared, never merely overwritten: with duplicate destination
+		// indices the received count can reach the window size without
+		// covering every element, so untouched elements must read as the
+		// zeros make used to provide.
+		staging := bufpool.GetF64(r.elems[wdx])
+		clear(staging)
+		release := func() {
+			bufpool.PutF64(staging)
+			bufpool.PutF64(pooledPF)
+		}
 		win := []iosim.Chunk{{Off: r.base[wdx], Len: r.elems[wdx]}}
 		if r.counts[wdx] < r.elems[wdx] {
 			// The window was only partially produced: pre-read it so the
@@ -448,6 +485,7 @@ func (r *twoPhaseReceiver) finish() error {
 			// extra contiguous request.
 			sec, err := r.dst.LAF.ReadChunks(win, staging)
 			if err != nil {
+				release()
 				return err
 			}
 			r.dst.charge("io-read", sec)
@@ -456,12 +494,14 @@ func (r *twoPhaseReceiver) finish() error {
 			for i := 0; i+1 < len(pairFloats); i += 2 {
 				lin := int(pairFloats[i]) - int(r.base[wdx])
 				if lin < 0 || lin >= len(staging) {
+					release()
 					return fmt.Errorf("collio: staged index %d outside window %d", int(pairFloats[i]), wdx)
 				}
 				staging[lin] = pairFloats[i+1]
 			}
 		}
 		sec, err := r.dst.LAF.WriteChunks(win, staging)
+		release()
 		if err != nil {
 			return err
 		}

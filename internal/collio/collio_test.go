@@ -291,7 +291,7 @@ func TestSlabWidthClamps(t *testing.T) {
 func TestCoalescePairsLastWriterWins(t *testing.T) {
 	chunks, vals := coalescePairs([]pair{
 		{lin: 3, val: 30}, {lin: 4, val: 40}, {lin: 3, val: 31}, {lin: 0, val: 1},
-	})
+	}, nil, nil)
 	// Sorted stably: 0, 3(first), 3(second), 4. The duplicate 3 starts a
 	// fresh chunk, so writing chunks in order leaves 31 at index 3.
 	if len(chunks) != 3 {

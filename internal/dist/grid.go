@@ -62,6 +62,18 @@ func (g Grid) Coords(rank int) []int {
 	return out
 }
 
+// Coord returns one coordinate of Coords(rank) without materializing the
+// vector — the index-translation hot paths call this per element.
+func (g Grid) Coord(rank, axis int) int {
+	if rank < 0 || rank >= g.Size() {
+		panic(fmt.Sprintf("dist: rank %d outside grid of %d", rank, g.Size()))
+	}
+	for i := len(g.Shape) - 1; i > axis; i-- {
+		rank /= g.Shape[i]
+	}
+	return rank % g.Shape[axis]
+}
+
 // NewGridArray builds an array mapping over a multi-dimensional processor
 // grid: the distributed dimensions of dims, in order, take the grid's
 // axes in order. Collapsed dimensions are unconstrained.
@@ -102,12 +114,22 @@ func (a *Array) grid() Grid {
 // dim: its grid coordinate for a distributed dimension, 0 for a collapsed
 // one.
 func (a *Array) ProcCoord(rank, dim int) int {
-	axes := a.axisOf()
-	if axes[dim] < 0 {
+	axis := a.axisOfDim(dim)
+	if axis < 0 {
 		return 0
 	}
 	if a.Grid == nil {
 		return rank
 	}
-	return a.grid().Coords(rank)[axes[dim]]
+	return Grid{Shape: a.Grid}.Coord(rank, axis)
+}
+
+// axisOfDim returns the grid axis of one array dimension, preferring the
+// table Validate cached; arrays built as raw literals (tests) fall back
+// to recomputing it.
+func (a *Array) axisOfDim(dim int) int {
+	if a.axes != nil {
+		return a.axes[dim]
+	}
+	return a.axisOf()[dim]
 }

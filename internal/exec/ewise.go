@@ -3,6 +3,7 @@ package exec
 import (
 	"fmt"
 
+	"github.com/ooc-hpf/passion/internal/bufpool"
 	"github.com/ooc-hpf/passion/internal/plan"
 )
 
@@ -20,7 +21,9 @@ func (in *interp) runNewSlab(n *plan.NewSlab) error {
 	if err != nil {
 		return err
 	}
+	old := in.bufs[n.Buf]
 	in.bufs[n.Buf] = icla
+	in.recycle(arr, old)
 	return nil
 }
 
@@ -62,7 +65,8 @@ func (in *interp) evalEwise(e plan.EExpr, dst []float64) error {
 		if err := in.evalEwise(e.L, dst); err != nil {
 			return err
 		}
-		tmp := make([]float64, len(dst))
+		tmp := bufpool.GetF64(len(dst))
+		defer bufpool.PutF64(tmp)
 		if err := in.evalEwise(e.R, tmp); err != nil {
 			return err
 		}

@@ -10,6 +10,7 @@ import (
 	"sort"
 	"strings"
 
+	"github.com/ooc-hpf/passion/internal/bufpool"
 	"github.com/ooc-hpf/passion/internal/collio"
 	"github.com/ooc-hpf/passion/internal/iosim"
 	"github.com/ooc-hpf/passion/internal/matrix"
@@ -561,7 +562,9 @@ func (in *interp) run(n plan.Node) error {
 		if err != nil {
 			return err
 		}
+		old := in.bufs[n.Buf]
 		in.bufs[n.Buf] = icla
+		in.recycle(arr, old)
 		return nil
 
 	case *plan.NewStaging:
@@ -576,10 +579,15 @@ func (in *interp) run(n plan.Node) error {
 		s := &oocarray.ICLA{
 			RowOff: like.RowOff, ColOff: 0,
 			Rows: like.Rows, Cols: arr.LocalCols(),
-			Data: make([]float64, like.Rows*arr.LocalCols()),
+			Data: bufpool.GetF64(like.Rows * arr.LocalCols()),
 		}
+		clear(s.Data)
+		oldStage := in.staging[n.Array]
+		oldBuf := in.bufs[n.Buf]
 		in.staging[n.Array] = s
 		in.bufs[n.Buf] = s
+		in.recycle(arr, oldStage)
+		in.recycle(arr, oldBuf)
 		return nil
 
 	case *plan.AutoStage:
@@ -818,9 +826,9 @@ func (in *interp) sumStore(n *plan.SumStore) error {
 
 	// The owner positions its (auto) staging slab before the reduction.
 	if mine && in.auto[n.Array] {
-		_, local := arr.Dist().ToLocal(0, gj)
+		_, local := arr.Dist().Dims[1].ToLocal(gj)
 		slb := in.slabbings[n.Array]
-		idx := local[1] / slb.Width
+		idx := local / slb.Width
 		if idx != in.autoIdx[n.Array] {
 			if err := in.flushStage(n.Array); err != nil {
 				return err
@@ -842,8 +850,8 @@ func (in *interp) sumStore(n *plan.SumStore) error {
 	if s == nil {
 		return fmt.Errorf("exec: SumStore into %q with no staging buffer", n.Array)
 	}
-	_, local := arr.Dist().ToLocal(0, gj)
-	lj := local[1] - s.ColOff
+	_, local := arr.Dist().Dims[1].ToLocal(gj)
+	lj := local - s.ColOff
 	if lj < 0 || lj >= s.Cols {
 		return fmt.Errorf("exec: SumStore column %d outside staging [%d,+%d)", gj, s.ColOff, s.Cols)
 	}
@@ -851,6 +859,7 @@ func (in *interp) sumStore(n *plan.SumStore) error {
 		return fmt.Errorf("exec: SumStore length %d vs staging rows %d", len(sum), s.Rows)
 	}
 	copy(s.Col(lj), sum)
+	mp.ReleaseBuf(sum)
 	return nil
 }
 
@@ -871,5 +880,27 @@ func (in *interp) flushStage(name string) error {
 		return err
 	}
 	in.staging[name] = nil
+	in.recycle(arr, s)
 	return nil
+}
+
+// recycle returns a slab buffer to the arena once no binding references
+// it anymore. Both interpreter tables are small (a handful of named
+// buffers), so the alias scan costs nothing next to the slab I/O it
+// follows.
+func (in *interp) recycle(arr *oocarray.Array, s *oocarray.ICLA) {
+	if s == nil {
+		return
+	}
+	for _, b := range in.bufs {
+		if b == s {
+			return
+		}
+	}
+	for _, b := range in.staging {
+		if b == s {
+			return
+		}
+	}
+	arr.Recycle(s)
 }

@@ -3,6 +3,8 @@ package exec
 import (
 	"fmt"
 
+	"github.com/ooc-hpf/passion/internal/bufpool"
+	"github.com/ooc-hpf/passion/internal/mp"
 	"github.com/ooc-hpf/passion/internal/oocarray"
 	"github.com/ooc-hpf/passion/internal/plan"
 )
@@ -45,6 +47,7 @@ func (in *interp) runShiftEwise(n *plan.ShiftEwise) error {
 				return err
 			}
 			in.proc.Send(rank+1, tag, sec.Data)
+			arr.Recycle(sec)
 		}
 		if n.GhostRight > 0 && rank > 0 {
 			sec, err := arr.ReadSection(0, 0, rows, n.GhostRight)
@@ -52,6 +55,7 @@ func (in *interp) runShiftEwise(n *plan.ShiftEwise) error {
 				return err
 			}
 			in.proc.Send(rank-1, tag+1, sec.Data)
+			arr.Recycle(sec)
 		}
 		var g [2][]float64
 		if n.GhostLeft > 0 && rank > 0 {
@@ -62,6 +66,12 @@ func (in *interp) runShiftEwise(n *plan.ShiftEwise) error {
 		}
 		ghosts[name] = g
 	}
+	defer func() {
+		for _, g := range ghosts {
+			mp.ReleaseBuf(g[0])
+			mp.ReleaseBuf(g[1])
+		}
+	}()
 
 	// Phase 2: slab sweep with column halos.
 	slb := in.slabbings[n.Out]
@@ -107,10 +117,15 @@ func (in *interp) runShiftEwise(n *plan.ShiftEwise) error {
 			if !in.phantom {
 				copy(staging.Col(c-c0), col)
 			}
+			bufpool.PutF64(col)
 			in.proc.Compute(int64(n.Expr.Ops()) * int64(rows))
 		}
 		if err := out.WriteSection(staging); err != nil {
 			return err
+		}
+		out.Recycle(staging)
+		for name, sec := range halos {
+			in.arrays[name].Recycle(sec)
 		}
 	}
 	return nil
@@ -121,7 +136,10 @@ func (in *interp) evalShiftColumn(e plan.EExpr, c, rows, localCols, h0 int,
 	halos map[string]*oocarray.ICLA, ghosts map[string][2][]float64) ([]float64, error) {
 	switch e := e.(type) {
 	case *plan.EConst:
-		col := make([]float64, rows)
+		// Pooled columns are not cleared: in phantom mode the contents are
+		// never read (the staging copy is skipped), and otherwise every
+		// element is written below.
+		col := bufpool.GetF64(rows)
 		if !in.phantom {
 			for i := range col {
 				col[i] = e.V
@@ -129,7 +147,7 @@ func (in *interp) evalShiftColumn(e plan.EExpr, c, rows, localCols, h0 int,
 		}
 		return col, nil
 	case *plan.EBufShift:
-		col := make([]float64, rows)
+		col := bufpool.GetF64(rows)
 		if in.phantom {
 			return col, nil
 		}
@@ -161,8 +179,10 @@ func (in *interp) evalShiftColumn(e plan.EExpr, c, rows, localCols, h0 int,
 		}
 		r, err := in.evalShiftColumn(e.R, c, rows, localCols, h0, halos, ghosts)
 		if err != nil {
+			bufpool.PutF64(l)
 			return nil, err
 		}
+		defer bufpool.PutF64(r)
 		if !in.phantom {
 			switch e.Op {
 			case '+':

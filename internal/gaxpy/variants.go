@@ -3,6 +3,7 @@ package gaxpy
 import (
 	"fmt"
 
+	"github.com/ooc-hpf/passion/internal/bufpool"
 	"github.com/ooc-hpf/passion/internal/mp"
 	"github.com/ooc-hpf/passion/internal/oocarray"
 	"github.com/ooc-hpf/passion/internal/sim"
@@ -62,12 +63,13 @@ func cOwnerStore(p *mp.Proc, ar *arrays, gj, tag int, temp []float64, staging *o
 	if p.Rank() != owner {
 		return nil
 	}
-	_, local := ar.c.Dist().ToLocal(0, gj)
-	lj := local[1] - staging.ColOff
+	_, local := ar.c.Dist().Dims[1].ToLocal(gj)
+	lj := local - staging.ColOff
 	if lj < 0 || lj >= staging.Cols {
 		return fmt.Errorf("gaxpy: column %d outside staging slab [%d,+%d)", gj, staging.ColOff, staging.Cols)
 	}
 	copy(staging.Col(lj), sum)
+	mp.ReleaseBuf(sum)
 	return nil
 }
 
@@ -129,6 +131,7 @@ func columnSlabNode(p *mp.Proc, ar *arrays, cfg Config) error {
 			if err := ar.c.WriteSection(staging); err != nil {
 				return err
 			}
+			ar.c.Recycle(staging)
 		}
 		var err error
 		staging, err = ar.c.NewSlab(slabsC, idx)
@@ -161,12 +164,13 @@ func columnSlabNode(p *mp.Proc, ar *arrays, cfg Config) error {
 					axpyInto(p, temp, aSlab.Col(i), bSlab.At(columnCount, m), cfg.Phantom)
 					columnCount++
 				}
+				ar.a.Recycle(aSlab)
 			}
 			// The owner of column gj must have its staging slab in
 			// place before the reduction delivers the column.
 			if ar.c.Dist().Dims[1].Owner(gj) == myRank {
-				_, local := ar.c.Dist().ToLocal(0, gj)
-				if err := ensureStaging(local[1]); err != nil {
+				_, local := ar.c.Dist().Dims[1].ToLocal(gj)
+				if err := ensureStaging(local); err != nil {
 					return err
 				}
 			}
@@ -175,9 +179,13 @@ func columnSlabNode(p *mp.Proc, ar *arrays, cfg Config) error {
 			}
 			gj++
 		}
+		ar.b.Recycle(bSlab)
 	}
 	if staging != nil {
-		return ar.c.WriteSection(staging)
+		if err := ar.c.WriteSection(staging); err != nil {
+			return err
+		}
+		ar.c.Recycle(staging)
 	}
 	return nil
 }
@@ -208,9 +216,11 @@ func rowSlabNode(p *mp.Proc, ar *arrays, cfg Config) error {
 		staging := &oocarray.ICLA{
 			RowOff: aSlab.RowOff, ColOff: 0,
 			Rows: aSlab.Rows, Cols: ar.c.LocalCols(),
-			Data: make([]float64, aSlab.Rows*ar.c.LocalCols()),
+			Data: bufpool.GetF64(aSlab.Rows * ar.c.LocalCols()),
 		}
-		temp := make([]float64, aSlab.Rows)
+		clear(staging.Data)
+		temp := bufpool.GetF64(aSlab.Rows)
+		clear(temp)
 		gj := 0
 		// B is re-streamed once per row slab of A.
 		for nb := 0; nb < slabsB.Count; nb++ {
@@ -230,7 +240,12 @@ func rowSlabNode(p *mp.Proc, ar *arrays, cfg Config) error {
 				}
 				gj++
 			}
+			ar.b.Recycle(bSlab)
 		}
+		bufpool.PutF64(temp)
+		// Write-behind moves the data synchronously (only the simulated
+		// completion is deferred), so the staging buffer can be recycled
+		// as soon as Write returns.
 		if writerC != nil {
 			if err := writerC.Write(staging); err != nil {
 				return err
@@ -238,6 +253,8 @@ func rowSlabNode(p *mp.Proc, ar *arrays, cfg Config) error {
 		} else if err := ar.c.WriteSection(staging); err != nil {
 			return err
 		}
+		ar.c.Recycle(staging)
+		ar.a.Recycle(aSlab)
 	}
 	return nil
 }

@@ -1,10 +1,12 @@
 package iosim
 
 import (
+	"bytes"
 	"fmt"
 	"hash/crc32"
 	"io"
 
+	"github.com/ooc-hpf/passion/internal/bufpool"
 	"github.com/ooc-hpf/passion/internal/sim"
 	"github.com/ooc-hpf/passion/internal/trace"
 )
@@ -386,7 +388,13 @@ func (l *LAF) ReadChunksSieved(chunks []Chunk, dst []float64) (float64, error) {
 	if span.Off < 0 || span.Off+int64(span.Len) > l.elems {
 		return 0, fmt.Errorf("iosim: %s: sieve span [%d,+%d) outside file", l.name, span.Off, span.Len)
 	}
-	buf := make([]float64, span.Len)
+	buf := bufpool.GetF64(span.Len)
+	defer bufpool.PutF64(buf)
+	if l.disk.phantom {
+		// The pooled buffer carries stale contents; phantom mode relied on
+		// make's zeroing for the untouched span.
+		clear(buf)
+	}
 	retrySec, err := l.readRun(span, buf)
 	if err != nil {
 		return 0, err
@@ -426,7 +434,11 @@ func (l *LAF) WriteChunksSieved(chunks []Chunk, src []float64) (float64, error) 
 		return 0, nil
 	}
 	span := Span(chunks)
-	buf := make([]float64, span.Len)
+	buf := bufpool.GetF64(span.Len)
+	defer bufpool.PutF64(buf)
+	if l.disk.phantom {
+		clear(buf)
+	}
 	retrySec, err := l.readRun(span, buf)
 	if err != nil {
 		return 0, err
@@ -543,8 +555,10 @@ func (l *LAF) readRunOnce(c Chunk, dst []float64) (float64, error) {
 		return 0, nil
 	}
 	if l.disk.res == nil {
-		buf := make([]byte, c.Len*elemBytes)
-		return 0, l.rawRead(buf, c.Off*elemBytes, func() { decode(dst, buf) })
+		buf := bufpool.GetBytes(c.Len * elemBytes)
+		err := l.rawRead(buf, c.Off*elemBytes, func() { decode(dst, buf) })
+		bufpool.PutBytes(buf)
+		return 0, err
 	}
 	return l.readRunResilient(c, dst)
 }
@@ -604,7 +618,8 @@ func (l *LAF) readRunResilient(c Chunk, dst []float64) (float64, error) {
 	if max := l.elems * elemBytes; hi > max {
 		hi = max
 	}
-	buf := make([]byte, hi-lo)
+	buf := bufpool.GetBytes(int(hi - lo))
+	defer bufpool.PutBytes(buf)
 	var retrySec float64
 	for attempt := 0; ; attempt++ {
 		err := l.rawRead(buf, lo, nil)
@@ -667,7 +682,8 @@ func (l *LAF) writeRun(c Chunk, src []float64) (float64, error) {
 		// parity traffic without moving data and never calls write.
 		var buf []byte
 		if !d.phantom {
-			buf = make([]byte, byteLen)
+			buf = bufpool.GetBytes(int(byteLen))
+			defer bufpool.PutBytes(buf)
 			encode(buf, src)
 		}
 		write := func() (float64, error) { return l.writeRunOnce(buf, byteOff) }
@@ -686,9 +702,11 @@ func (l *LAF) writeRun(c Chunk, src []float64) (float64, error) {
 	if d.phantom {
 		return 0, nil
 	}
-	buf := make([]byte, byteLen)
+	buf := bufpool.GetBytes(int(byteLen))
 	encode(buf, src)
-	return l.writeRunOnce(buf, byteOff)
+	sec, err := l.writeRunOnce(buf, byteOff)
+	bufpool.PutBytes(buf)
+	return sec, err
 }
 
 // writeRunOnce is one attempt at storing encoded bytes, without parity or
@@ -755,10 +773,10 @@ func (l *LAF) rawWrite(buf []byte, off int64) error {
 
 // updateChecksums refreshes the stored CRC32 of every block touched by a
 // successful write of buf at byteOff. Interior blocks hash the written
-// bytes directly; partially covered edge blocks are read back (with the
-// written bytes overlaid) and double-read for stability, so a corrupted
-// read-back cannot poison the store — at worst the block's checksum is
-// dropped and that block goes unverified until its next full write.
+// bytes directly; partially covered edge blocks are read back and
+// double-read for stability, so a corrupted read-back cannot poison the
+// store — at worst the block's checksum is dropped and that block goes
+// unverified until its next full write.
 func (l *LAF) updateChecksums(byteOff int64, buf []byte) {
 	res := l.disk.res
 	fileBytes := l.elems * elemBytes
@@ -775,47 +793,52 @@ func (l *LAF) updateChecksums(byteOff int64, buf []byte) {
 			res.set(l.name, b, crc32.ChecksumIEEE(buf[bLo-byteOff:bHi-byteOff]))
 			continue
 		}
-		blk, ok := l.stableReadBlock(bLo, bHi, byteOff, buf)
+		crc, ok := l.stableEdgeCRC(bLo, bHi, byteOff, buf)
 		if !ok {
 			res.del(l.name, b)
 			continue
 		}
-		res.set(l.name, b, crc32.ChecksumIEEE(blk))
+		res.set(l.name, b, crc)
 	}
 }
 
-// stableReadBlock reads the file bytes [bLo, bHi) twice, overlaying the
-// freshly written range [wOff, wOff+len(wBuf)) from memory, and returns
-// the content only when both reads agree — defending the checksum store
-// against transient read-path corruption of the read-back.
-func (l *LAF) stableReadBlock(bLo, bHi, wOff int64, wBuf []byte) ([]byte, bool) {
-	overlay := func(p []byte) {
-		oLo, oHi := wOff, wOff+int64(len(wBuf))
-		if oLo < bLo {
-			oLo = bLo
-		}
-		if oHi > bHi {
-			oHi = bHi
-		}
-		if oLo < oHi {
-			copy(p[oLo-bLo:oHi-bLo], wBuf[oLo-wOff:oHi-wOff])
-		}
+// stableEdgeCRC computes the checksum of a partially written block: the
+// file bytes [bLo, bHi) with the freshly written range [wOff,
+// wOff+len(wBuf)) taken from memory. The block is read twice and accepted
+// only when the reads agree outside the written range (the written bytes
+// come from memory, so their read-back stability is irrelevant) —
+// defending the checksum store against transient read-path corruption.
+// The CRC is built incrementally over stable head, written middle and
+// stable tail, so no overlay copy is materialized; the two read-back
+// buffers come from the arena.
+func (l *LAF) stableEdgeCRC(bLo, bHi, wOff int64, wBuf []byte) (uint32, bool) {
+	oLo, oHi := wOff, wOff+int64(len(wBuf))
+	if oLo < bLo {
+		oLo = bLo
 	}
+	if oHi > bHi {
+		oHi = bHi
+	}
+	head, tail := oLo-bLo, oHi-bLo
 	attempts := l.disk.res.Policy.MaxRetries + 1
 	if attempts < 2 {
 		attempts = 2
 	}
-	a := make([]byte, bHi-bLo)
-	b := make([]byte, bHi-bLo)
+	a := bufpool.GetBytes(int(bHi - bLo))
+	b := bufpool.GetBytes(int(bHi - bLo))
+	defer bufpool.PutBytes(a)
+	defer bufpool.PutBytes(b)
 	for i := 0; i < attempts; i++ {
 		if l.rawRead(a, bLo, nil) != nil || l.rawRead(b, bLo, nil) != nil {
 			continue
 		}
-		overlay(a)
-		overlay(b)
-		if string(a) == string(b) {
-			return a, true
+		if !bytes.Equal(a[:head], b[:head]) || !bytes.Equal(a[tail:], b[tail:]) {
+			continue
 		}
+		crc := crc32.Update(0, crc32.IEEETable, a[:head])
+		crc = crc32.Update(crc, crc32.IEEETable, wBuf[oLo-wOff:oHi-wOff])
+		crc = crc32.Update(crc, crc32.IEEETable, a[tail:])
+		return crc, true
 	}
-	return nil, false
+	return 0, false
 }

@@ -52,6 +52,17 @@ func (p RetryPolicy) backoff(attempt int) float64 {
 // this package).
 const ChecksumBlockBytes = 1024
 
+// zeroBlockCRCs[n] is the CRC32 (IEEE) of n zero bytes, for every prefix
+// of a checksum block. Computed once at init so seeding a fresh file
+// neither allocates a zero buffer nor re-hashes it per create.
+var zeroBlockCRCs = func() (t [ChecksumBlockBytes + 1]uint32) {
+	var z [1]byte
+	for n := 1; n <= ChecksumBlockBytes; n++ {
+		t[n] = crc32.Update(t[n-1], crc32.IEEETable, z[:])
+	}
+	return
+}()
+
 // Resilience is the shared state of the resilient I/O layer: the retry
 // policy and the per-file block checksum store. One Resilience is shared
 // by all processors of an execution (per-file entries are disjoint under
@@ -113,8 +124,7 @@ func (r *Resilience) seedZero(name string, bytes int64) {
 	if bytes <= 0 {
 		return
 	}
-	zero := make([]byte, ChecksumBlockBytes)
-	full := crc32.ChecksumIEEE(zero)
+	full := zeroBlockCRCs[ChecksumBlockBytes]
 	blocks := (bytes + ChecksumBlockBytes - 1) / ChecksumBlockBytes
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -123,7 +133,7 @@ func (r *Resilience) seedZero(name string, bytes int64) {
 		lo := b * ChecksumBlockBytes
 		hi := lo + ChecksumBlockBytes
 		if hi > bytes {
-			f[b] = crc32.ChecksumIEEE(zero[:bytes-lo])
+			f[b] = zeroBlockCRCs[bytes-lo]
 		} else {
 			f[b] = full
 		}

@@ -128,8 +128,9 @@ func Run(mach sim.Config, cfg Config) (*Result, error) {
 			for j := 0; j < k; j++ {
 				jo := panelOwner(j)
 				var payload []float64
+				var pj *oocarray.ICLA
 				if proc.Rank() == jo {
-					pj, err := arr.ReadSection(0, localStart(j), n, w)
+					pj, err = arr.ReadSection(0, localStart(j), n, w)
 					if err != nil {
 						return err
 					}
@@ -139,12 +140,21 @@ func Run(mach sim.Config, cfg Config) (*Result, error) {
 				if mine {
 					applyPanel(proc, pk, payload, j*w, w, n)
 				}
+				// On the owner, Bcast returns its input — the panel's own
+				// storage, recycled with the slab; elsewhere the payload is
+				// a receiver-owned arena buffer.
+				if pj != nil {
+					arr.Recycle(pj)
+				} else {
+					mp.ReleaseBuf(payload)
+				}
 			}
 			if mine {
 				factorPanel(proc, pk, k*w, w, n)
 				if err := arr.WriteSection(pk); err != nil {
 					return err
 				}
+				arr.Recycle(pk)
 			}
 		}
 		return nil

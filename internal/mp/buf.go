@@ -1,0 +1,29 @@
+package mp
+
+import "github.com/ooc-hpf/passion/internal/bufpool"
+
+// Message payloads follow an ownership-transfer protocol over the
+// bufpool arena:
+//
+//   - Send copies the caller's data into an arena buffer; the caller
+//     keeps its slice. SendOwned instead takes ownership of an arena
+//     buffer the caller acquired (or received), transferring it without
+//     a copy; the caller must not touch it afterwards.
+//   - Recv returns an arena buffer the receiver owns: it either releases
+//     it with ReleaseBuf once done, or adopts it (keeps it indefinitely
+//     and never releases). Adoption is always safe — an unreleased
+//     buffer is ordinary garbage-collected memory — it merely forgoes
+//     reuse.
+//
+// Steady-state traffic therefore allocates nothing: payload buffers
+// cycle sender → mailbox → receiver → arena → sender.
+
+// AcquireBuf returns an n-element payload buffer from the arena with
+// arbitrary contents, for use with SendOwned.
+func AcquireBuf(n int) []float64 { return bufpool.GetF64(n) }
+
+// ReleaseBuf returns a buffer obtained from AcquireBuf or Recv to the
+// arena. The caller must not touch the buffer afterwards. nil and
+// foreign (non-arena) slices are accepted and ignored, so callers can
+// release unconditionally.
+func ReleaseBuf(b []float64) { bufpool.PutF64(b) }

@@ -13,7 +13,9 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
+	"github.com/ooc-hpf/passion/internal/bufpool"
 	"github.com/ooc-hpf/passion/internal/sim"
 	"github.com/ooc-hpf/passion/internal/trace"
 )
@@ -62,12 +64,14 @@ func Run(cfg sim.Config, node NodeFunc) (*trace.Stats, error) {
 	}
 	p := cfg.Procs
 	m := &Machine{cfg: cfg, chans: make([][]chan message, p)}
+	depth := mailboxCap(p)
 	for src := 0; src < p; src++ {
 		m.chans[src] = make([]chan message, p)
 		for dst := 0; dst < p; dst++ {
 			// Generous buffering keeps the deterministic plans
-			// deadlock-free without a progress engine.
-			m.chans[src][dst] = make(chan message, 1024)
+			// deadlock-free without a progress engine; overrunning it
+			// is a plan bug and panics in post rather than blocking.
+			m.chans[src][dst] = make(chan message, depth)
 		}
 	}
 	stats := trace.NewStats(p)
@@ -147,16 +151,37 @@ func (p *Proc) Compute(flops int64) {
 	p.stats.ComputeSeconds += dt
 }
 
-// Send delivers a copy of data to processor dst under the given tag. The
-// sender's clock advances by the full message time (blocking send model).
-func (p *Proc) Send(dst, tag int, data []float64) {
+// mailboxCap sizes the per-pair mailboxes from the machine size, with a
+// floor covering deep one-directional streams (a sender goroutine may
+// race many plan iterations ahead of a lagging receiver). A full mailbox
+// is ordinary backpressure — the sender parks until the receiver drains;
+// only a mailbox that stays full past sendStallTimeout is diagnosed as a
+// broken plan (see post).
+func mailboxCap(procs int) int {
+	if c := 4 * procs; c > 64 {
+		return c
+	}
+	return 64
+}
+
+// sendStallTimeout bounds how long a backpressured send may wait for the
+// receiver before the machine declares the plan deadlocked. Generous:
+// real drains take microseconds; only a missing receive leaves a send
+// pending this long. A variable so tests can shorten it.
+var sendStallTimeout = 30 * time.Second
+
+// sendCharge validates the destination and applies a message's full
+// simulated cost to the sender (blocking send model): clock, send span,
+// communication statistics. Shared by Send and SendOwned so the two are
+// indistinguishable to the simulation.
+func (p *Proc) sendCharge(dst int, elems int) {
 	if dst < 0 || dst >= p.Size() {
 		panic(fmt.Sprintf("mp: Send to invalid rank %d", dst))
 	}
 	if dst == p.rank {
 		panic("mp: Send to self is not supported; use local data")
 	}
-	bytes := int64(len(data)) * int64(p.m.cfg.ElemSize)
+	bytes := int64(elems) * int64(p.m.cfg.ElemSize)
 	dt := p.m.cfg.MsgTime(bytes)
 	start := p.clock.Seconds()
 	p.clock.Advance(dt)
@@ -167,15 +192,61 @@ func (p *Proc) Send(dst, tag int, data []float64) {
 	p.stats.Comm.MessagesSent++
 	p.stats.Comm.BytesSent += bytes
 	p.stats.Comm.Seconds += dt
-	buf := make([]float64, len(data))
+}
+
+// post enqueues an owned buffer into the mailbox to dst. The fast path
+// is non-blocking; a full mailbox applies backpressure (the sender
+// parks until the receiver drains). A send still pending after
+// sendStallTimeout means the receiver is not draining at all — a plan
+// with a missing receive — and panics with the facts (rank, peer, tag,
+// depth) instead of hanging the machine forever.
+func (p *Proc) post(dst, tag int, buf []float64) {
+	ch := p.m.chans[p.rank][dst]
+	msg := message{tag: tag, data: buf, atTime: p.clock.Seconds()}
+	select {
+	case ch <- msg:
+		return
+	default:
+	}
+	t := time.NewTimer(sendStallTimeout)
+	defer t.Stop()
+	select {
+	case ch <- msg:
+	case <-t.C:
+		panic(fmt.Sprintf("mp: rank %d overran its mailbox to rank %d and stalled %v (tag %d, depth %d): the plan posts messages the receiver never takes",
+			p.rank, dst, sendStallTimeout, tag, len(ch)))
+	}
+}
+
+// Send delivers a copy of data to processor dst under the given tag. The
+// sender's clock advances by the full message time (blocking send model).
+// The copy lands in an arena buffer, so steady-state traffic recycles
+// payload memory instead of allocating (see buf.go for the ownership
+// protocol).
+func (p *Proc) Send(dst, tag int, data []float64) {
+	p.sendCharge(dst, len(data))
+	buf := bufpool.GetF64(len(data))
 	copy(buf, data)
-	p.m.chans[p.rank][dst] <- message{tag: tag, data: buf, atTime: p.clock.Seconds()}
+	p.post(dst, tag, buf)
+}
+
+// SendOwned is Send without the copy: data must be an arena buffer the
+// caller owns (from AcquireBuf or Recv), and ownership transfers to the
+// message — the caller must not touch it afterwards. Simulated cost,
+// spans and statistics are identical to Send.
+func (p *Proc) SendOwned(dst, tag int, data []float64) {
+	p.sendCharge(dst, len(data))
+	p.post(dst, tag, data)
 }
 
 // Recv blocks until the next message from src arrives and returns its
 // payload. The message's tag must match; a mismatch indicates a bug in the
 // compiled plan and panics. The receiver's clock advances to the message
 // arrival time if it was ahead of the receiver.
+//
+// The returned buffer is owned by the receiver: release it with
+// ReleaseBuf once done, forward it with SendOwned, or adopt it (keep it
+// and never release — always safe, merely forgoing reuse).
 func (p *Proc) Recv(src, tag int) []float64 {
 	if src < 0 || src >= p.Size() || src == p.rank {
 		panic(fmt.Sprintf("mp: Recv from invalid rank %d", src))
@@ -219,18 +290,19 @@ func (p *Proc) absRank(rel, root int) int {
 }
 
 // Reduce computes the elementwise sum of data across all processors using
-// a binomial tree rooted at root. On root it returns the full sum; on
-// other processors it returns nil. len(data) must match on all processors.
+// a binomial tree rooted at root. On root it returns the full sum (an
+// arena buffer the caller owns); on other processors it returns nil.
+// len(data) must match on all processors.
 func (p *Proc) Reduce(root, tag int, data []float64) []float64 {
 	p.collective("reduce")
-	acc := make([]float64, len(data))
+	acc := bufpool.GetF64(len(data))
 	copy(acc, data)
 	r := p.relRank(root)
 	size := p.Size()
 	for mask := 1; mask < size; mask <<= 1 {
 		if r&mask != 0 {
 			dst := p.absRank(r-mask, root)
-			p.Send(dst, internalTagBase+tag, acc)
+			p.SendOwned(dst, internalTagBase+tag, acc)
 			if r != 0 {
 				return nil
 			}
@@ -238,6 +310,7 @@ func (p *Proc) Reduce(root, tag int, data []float64) []float64 {
 			src := p.absRank(r+mask, root)
 			in := p.Recv(src, internalTagBase+tag)
 			p.addInto(acc, in)
+			ReleaseBuf(in)
 		}
 	}
 	if r == 0 {
@@ -258,7 +331,8 @@ func (p *Proc) addInto(dst, src []float64) {
 }
 
 // Bcast distributes root's data to every processor using a binomial tree
-// and returns the received copy (on root, data itself).
+// and returns the received copy (on root, data itself; elsewhere an
+// arena buffer the caller owns).
 func (p *Proc) Bcast(root, tag int, data []float64) []float64 {
 	p.collective("bcast")
 	r := p.relRank(root)
@@ -295,29 +369,24 @@ func (p *Proc) Bcast(root, tag int, data []float64) []float64 {
 	return data
 }
 
-// AllReduce computes the elementwise sum across all processors and returns
-// it on every processor (reduce to 0 followed by broadcast).
+// AllReduce computes the elementwise sum across all processors and
+// returns it on every processor (reduce to 0 followed by broadcast). The
+// result is an arena buffer the caller owns. Non-roots pass their nil
+// reduce result straight into Bcast, which never reads it there.
 func (p *Proc) AllReduce(tag int, data []float64) []float64 {
-	sum := p.Reduce(0, tag, data)
-	if p.rank != 0 {
-		sum = nil
-	}
-	if sum == nil {
-		sum = make([]float64, len(data))
-	}
-	return p.Bcast(0, tag, sum)
+	return p.Bcast(0, tag, p.Reduce(0, tag, data))
 }
 
 // Barrier blocks until every processor has entered it, and synchronizes
 // the simulated clocks to the latest arrival (plus the collective's
 // message costs).
 func (p *Proc) Barrier(tag int) {
-	p.AllReduce(tag, nil)
+	ReleaseBuf(p.AllReduce(tag, nil))
 }
 
 // Gather collects each processor's data on root, in rank order. On root it
-// returns a slice indexed by rank; elsewhere nil. Contributions may have
-// different lengths.
+// returns a slice indexed by rank (each entry an arena buffer the caller
+// owns); elsewhere nil. Contributions may have different lengths.
 func (p *Proc) Gather(root, tag int, data []float64) [][]float64 {
 	p.collective("gather")
 	if p.rank != root {
@@ -327,7 +396,7 @@ func (p *Proc) Gather(root, tag int, data []float64) [][]float64 {
 	out := make([][]float64, p.Size())
 	for r := 0; r < p.Size(); r++ {
 		if r == root {
-			buf := make([]float64, len(data))
+			buf := bufpool.GetF64(len(data))
 			copy(buf, data)
 			out[r] = buf
 			continue
@@ -338,7 +407,8 @@ func (p *Proc) Gather(root, tag int, data []float64) [][]float64 {
 }
 
 // Scatter distributes parts (indexed by rank, significant on root only)
-// from root and returns this processor's part.
+// from root and returns this processor's part, an arena buffer the
+// caller owns.
 func (p *Proc) Scatter(root, tag int, parts [][]float64) []float64 {
 	p.collective("scatter")
 	if p.rank == root {
@@ -348,7 +418,7 @@ func (p *Proc) Scatter(root, tag int, parts [][]float64) []float64 {
 			}
 			p.Send(r, internalTagBase+tag, parts[r])
 		}
-		buf := make([]float64, len(parts[root]))
+		buf := bufpool.GetF64(len(parts[root]))
 		copy(buf, parts[root])
 		return buf
 	}
@@ -356,8 +426,9 @@ func (p *Proc) Scatter(root, tag int, parts [][]float64) []float64 {
 }
 
 // AllToAll sends parts[d] to processor d and returns the slice of parts
-// received, indexed by source rank. parts[rank] is kept locally (copied).
-// Used by array redistribution.
+// received, indexed by source rank (each an arena buffer the caller
+// owns). parts[rank] is kept locally (copied). Used by array
+// redistribution.
 func (p *Proc) AllToAll(tag int, parts [][]float64) [][]float64 {
 	p.collective("all-to-all")
 	seq := p.a2aSeq
@@ -367,7 +438,7 @@ func (p *Proc) AllToAll(tag int, parts [][]float64) [][]float64 {
 		panic(fmt.Sprintf("mp: AllToAll wants %d parts, got %d", size, len(parts)))
 	}
 	out := make([][]float64, size)
-	buf := make([]float64, len(parts[p.rank]))
+	buf := bufpool.GetF64(len(parts[p.rank]))
 	copy(buf, parts[p.rank])
 	out[p.rank] = buf
 	// Rotated schedule: step i sends to rank+i and receives from rank-i,

@@ -1,6 +1,10 @@
 package mp
 
-import "fmt"
+import (
+	"fmt"
+
+	"github.com/ooc-hpf/passion/internal/bufpool"
+)
 
 // Op is an elementwise reduction operator. Implementations must be
 // associative; commutativity is not required because the binomial tree
@@ -51,18 +55,19 @@ var (
 )
 
 // ReduceWith performs a binomial-tree reduction with an arbitrary
-// operator, returning the result on root and nil elsewhere. Each combine
-// step is charged as len(data) flops.
+// operator, returning the result (an arena buffer the caller owns) on
+// root and nil elsewhere. Each combine step is charged as len(data)
+// flops.
 func (p *Proc) ReduceWith(root, tag int, data []float64, op Op) []float64 {
 	p.collective(op.Name())
-	acc := make([]float64, len(data))
+	acc := bufpool.GetF64(len(data))
 	copy(acc, data)
 	r := p.relRank(root)
 	size := p.Size()
 	for mask := 1; mask < size; mask <<= 1 {
 		if r&mask != 0 {
 			dst := p.absRank(r-mask, root)
-			p.Send(dst, internalTagBase+tag, acc)
+			p.SendOwned(dst, internalTagBase+tag, acc)
 			if r != 0 {
 				return nil
 			}
@@ -74,6 +79,7 @@ func (p *Proc) ReduceWith(root, tag int, data []float64, op Op) []float64 {
 			}
 			op.Combine(acc, in)
 			p.Compute(int64(len(in)))
+			ReleaseBuf(in)
 		}
 	}
 	if r == 0 {
@@ -82,13 +88,11 @@ func (p *Proc) ReduceWith(root, tag int, data []float64, op Op) []float64 {
 	return nil
 }
 
-// AllReduceWith is ReduceWith followed by a broadcast of the result.
+// AllReduceWith is ReduceWith followed by a broadcast of the result,
+// which every rank owns. Non-roots pass their nil reduce result straight
+// into Bcast, which never reads it there.
 func (p *Proc) AllReduceWith(tag int, data []float64, op Op) []float64 {
-	sum := p.ReduceWith(0, tag, data, op)
-	if sum == nil {
-		sum = make([]float64, len(data))
-	}
-	return p.Bcast(0, tag, sum)
+	return p.Bcast(0, tag, p.ReduceWith(0, tag, data, op))
 }
 
 // AllReduceMax returns the elementwise maximum across processors — used

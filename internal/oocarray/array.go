@@ -10,6 +10,7 @@ package oocarray
 import (
 	"fmt"
 
+	"github.com/ooc-hpf/passion/internal/bufpool"
 	"github.com/ooc-hpf/passion/internal/collio"
 	"github.com/ooc-hpf/passion/internal/dist"
 	"github.com/ooc-hpf/passion/internal/iosim"
@@ -67,6 +68,11 @@ type Array struct {
 	laf   *iosim.LAF
 	clock *sim.Clock
 	opts  Options
+	// chunkScratch backs sectionChunks between calls. Safe because the
+	// array belongs to one rank goroutine and every caller consumes the
+	// chunk list before issuing another sectioned transfer (the prefetch
+	// overlap is simulated, not concurrent).
+	chunkScratch []iosim.Chunk
 }
 
 // New creates the out-of-core local array of processor proc for the global
@@ -258,13 +264,15 @@ func (a *Array) sectionChunks(r0, c0, h, w int) ([]iosim.Chunk, error) {
 	if h == 0 || w == 0 {
 		return nil, nil
 	}
+	chunks := a.chunkScratch[:0]
 	if h == a.rows {
-		return []iosim.Chunk{{Off: int64(c0) * int64(a.rows), Len: h * w}}, nil
+		chunks = append(chunks, iosim.Chunk{Off: int64(c0) * int64(a.rows), Len: h * w})
+	} else {
+		for j := 0; j < w; j++ {
+			chunks = append(chunks, iosim.Chunk{Off: int64(c0+j)*int64(a.rows) + int64(r0), Len: h})
+		}
 	}
-	chunks := make([]iosim.Chunk, w)
-	for j := 0; j < w; j++ {
-		chunks[j] = iosim.Chunk{Off: int64(c0+j)*int64(a.rows) + int64(r0), Len: h}
-	}
+	a.chunkScratch = chunks
 	return chunks, nil
 }
 
@@ -286,7 +294,11 @@ func (a *Array) readSectionRaw(r0, c0, h, w int) (*ICLA, float64, error) {
 	if err != nil {
 		return nil, 0, err
 	}
-	icla := &ICLA{RowOff: r0, ColOff: c0, Rows: h, Cols: w, Data: make([]float64, h*w)}
+	icla := &ICLA{RowOff: r0, ColOff: c0, Rows: h, Cols: w, Data: bufpool.GetF64(h * w)}
+	// The pooled buffer must start out zeroed like the make it replaced:
+	// phantom-mode reads leave it untouched, and sieved reads only touch
+	// the chunked positions.
+	clear(icla.Data)
 	var sec float64
 	if len(chunks) > 0 {
 		if a.opts.Sieve {
@@ -359,12 +371,27 @@ func (a *Array) NewSlab(s Slabbing, index int) (*ICLA, error) {
 	if index < 0 || index >= s.Count {
 		return nil, fmt.Errorf("oocarray: slab index %d outside [0,%d)", index, s.Count)
 	}
+	var icla *ICLA
 	if s.Dim == ByColumn {
 		start, size := s.slabBounds(index, a.cols)
-		return &ICLA{RowOff: 0, ColOff: start, Rows: a.rows, Cols: size, Data: make([]float64, a.rows*size)}, nil
+		icla = &ICLA{RowOff: 0, ColOff: start, Rows: a.rows, Cols: size, Data: bufpool.GetF64(a.rows * size)}
+	} else {
+		start, size := s.slabBounds(index, a.rows)
+		icla = &ICLA{RowOff: start, ColOff: 0, Rows: size, Cols: a.cols, Data: bufpool.GetF64(size * a.cols)}
 	}
-	start, size := s.slabBounds(index, a.rows)
-	return &ICLA{RowOff: start, ColOff: 0, Rows: size, Cols: a.cols, Data: make([]float64, size*a.cols)}, nil
+	clear(icla.Data)
+	return icla, nil
+}
+
+// Recycle returns a slab's storage to the buffer arena once the caller
+// is done with it (typically after WriteSection). The slab must not be
+// used afterwards; nil is a no-op.
+func (a *Array) Recycle(s *ICLA) {
+	if s == nil {
+		return
+	}
+	bufpool.PutF64(s.Data)
+	s.Data = nil
 }
 
 // ---------------------------------------------------------------------------

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"github.com/ooc-hpf/passion/internal/bufpool"
 	"github.com/ooc-hpf/passion/internal/iosim"
 	"github.com/ooc-hpf/passion/internal/trace"
 )
@@ -93,17 +94,17 @@ func (st *Store) Recover(d *iosim.Disk, name string, cause error) (float64, erro
 	nBlocks := (fi.bytes + BlockBytes - 1) / BlockBytes
 	var sec float64
 	var requests, physBytes, messages, msgBytes int64
-	acc := make([]byte, BlockBytes)
-	blk := make([]byte, BlockBytes)
+	acc := bufpool.GetBytes(BlockBytes)
+	blk := bufpool.GetBytes(BlockBytes)
+	defer bufpool.PutBytes(acc)
+	defer bufpool.PutBytes(blk)
 	gather := func(h iosim.File, hname string, off, want int64) error {
 		rs, err := st.readVerified(h, hname, blk, off, want)
 		sec += rs
 		if err != nil {
 			return err
 		}
-		for i := range acc {
-			acc[i] ^= blk[i]
-		}
+		xorInto(acc, blk)
 		requests++
 		physBytes += want
 		messages++
@@ -113,9 +114,7 @@ func (st *Store) Recover(d *iosim.Disk, name string, cause error) (float64, erro
 	}
 
 	for k := int64(0); k < nBlocks; k++ {
-		for i := range acc {
-			acc[i] = 0
-		}
+		clear(acc)
 		s := StripeOf(st.procs, fi.rank, k)
 		p := ParityRankOf(st.procs, s)
 		q := ParityIndexOf(st.procs, s)
@@ -280,12 +279,12 @@ func (st *Store) rebuildParityFileLocked(d *iosim.Disk, base string, p int) (flo
 
 	var sec float64
 	var requests, physBytes, messages, msgBytes int64
-	acc := make([]byte, BlockBytes)
-	blk := make([]byte, BlockBytes)
+	acc := bufpool.GetBytes(BlockBytes)
+	blk := bufpool.GetBytes(BlockBytes)
+	defer bufpool.PutBytes(acc)
+	defer bufpool.PutBytes(blk)
 	for q := int64(0); q < maxQ; q++ {
-		for i := range acc {
-			acc[i] = 0
-		}
+		clear(acc)
 		s := q*int64(st.procs) + int64(p)
 		for _, m := range members {
 			k := DataBlockOf(st.procs, m.rank, s)
@@ -307,9 +306,7 @@ func (st *Store) rebuildParityFileLocked(d *iosim.Disk, base string, p int) (flo
 			if err != nil {
 				return sec, fmt.Errorf("parity: rebuild %s: %w", pname, err)
 			}
-			for i := range acc {
-				acc[i] ^= blk[i]
-			}
+			xorInto(acc, blk)
 			requests++
 			physBytes += want
 			messages++

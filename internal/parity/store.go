@@ -5,6 +5,7 @@ import (
 	"io"
 	"sync"
 
+	"github.com/ooc-hpf/passion/internal/bufpool"
 	"github.com/ooc-hpf/passion/internal/iosim"
 	"github.com/ooc-hpf/passion/internal/sim"
 	"github.com/ooc-hpf/passion/internal/trace"
@@ -339,9 +340,7 @@ func (st *Store) dataHandle(name string) (iosim.File, float64, error) {
 // zero-pad their last stripe). Retries transient faults.
 func (st *Store) readFull(f iosim.File, name string, buf []byte, off int64) (float64, error) {
 	return st.retry("parity-read", name, func() error {
-		for i := range buf {
-			buf[i] = 0
-		}
+		clear(buf)
 		n, err := f.ReadAt(buf, off)
 		if err == io.EOF {
 			for i := n; i < len(buf); i++ {
@@ -460,8 +459,10 @@ func (st *Store) WriteThrough(d *iosim.Disk, name string, byteOff, n int64, buf 
 
 	var sec float64
 	if buf != nil {
-		// Old data over the widened span, for the XOR delta.
-		old := make([]byte, sp.hi-sp.lo)
+		// Old data over the widened span, for the XOR delta. readFull
+		// zero-fills the pooled buffer before every attempt.
+		old := bufpool.GetBytes(int(sp.hi - sp.lo))
+		defer bufpool.PutBytes(old)
 		h, hs, err := st.dataHandle(name)
 		sec += hs
 		if err != nil {
@@ -479,11 +480,13 @@ func (st *Store) WriteThrough(d *iosim.Disk, name string, byteOff, n int64, buf 
 			return sec, err
 		}
 
-		// delta = old XOR new over the written range, zero elsewhere.
-		delta := make([]byte, sp.nb*BlockBytes)
-		for i := int64(0); i < n; i++ {
-			delta[byteOff-sp.lo+i] = old[byteOff-sp.lo+i] ^ buf[i]
-		}
+		// delta = old XOR new over the written range, zero elsewhere (the
+		// pooled buffer must be cleared explicitly where make zeroed).
+		delta := bufpool.GetBytes(int(sp.nb * BlockBytes))
+		defer bufpool.PutBytes(delta)
+		clear(delta)
+		w := byteOff - sp.lo
+		xorBytes(delta[w:w+n], old[w:w+n], buf[:n])
 		for _, run := range runs {
 			ps, err := st.applyParityRun(d, *fi, run, sp, delta)
 			sec += ps
@@ -535,7 +538,8 @@ func (st *Store) applyParityRun(d *iosim.Disk, fi fileInfo, run parityRun, sp sp
 		}
 		st.handles[pname] = h
 	}
-	span := make([]byte, (run.qHi-run.qLo+1)*BlockBytes)
+	span := bufpool.GetBytes(int((run.qHi - run.qLo + 1) * BlockBytes))
+	defer bufpool.PutBytes(span)
 	rs, err := st.readFull(h, pname, span, run.qLo*BlockBytes)
 	sec += rs
 	if err == nil {
@@ -544,9 +548,7 @@ func (st *Store) applyParityRun(d *iosim.Disk, fi fileInfo, run parityRun, sp sp
 			q := ParityIndexOf(st.procs, s)
 			dOff := (k - sp.firstBlock) * BlockBytes
 			pOff := (q - run.qLo) * BlockBytes
-			for i := int64(0); i < BlockBytes; i++ {
-				span[pOff+i] ^= delta[dOff+i]
-			}
+			xorInto(span[pOff:pOff+BlockBytes], delta[dOff:dOff+BlockBytes])
 		}
 		var ws float64
 		ws, err = st.writeFull(h, pname, span, run.qLo*BlockBytes)

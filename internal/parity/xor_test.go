@@ -1,0 +1,86 @@
+package parity
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// TestXorKernelsMatchScalar checks the word-wide kernels against the
+// scalar references over empty blocks, odd lengths, word-multiple
+// lengths and unaligned sub-slices.
+func TestXorKernelsMatchScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	lengths := []int{0, 1, 2, 7, 8, 9, 15, 16, 17, 63, 64, 65, 255, BlockBytes - 1, BlockBytes, BlockBytes + 1}
+	for _, n := range lengths {
+		for _, off := range []int{0, 1, 3, 5, 7} {
+			// Carve unaligned windows out of a larger backing array so the
+			// kernels see data pointers at every alignment mod 8.
+			backA := make([]byte, off+n)
+			backB := make([]byte, off+n)
+			rng.Read(backA)
+			rng.Read(backB)
+			a, b := backA[off:], backB[off:]
+
+			wantInto := append([]byte(nil), a...)
+			xorIntoScalar(wantInto, b)
+			gotInto := append([]byte(nil), a...)
+			xorInto(gotInto, b)
+			if !bytes.Equal(gotInto, wantInto) {
+				t.Fatalf("xorInto(len=%d, off=%d) diverges from scalar", n, off)
+			}
+
+			want := make([]byte, n)
+			xorBytesScalar(want, a, b)
+			got := make([]byte, n)
+			xorBytes(got, a, b)
+			if !bytes.Equal(got, want) {
+				t.Fatalf("xorBytes(len=%d, off=%d) diverges from scalar", n, off)
+			}
+		}
+	}
+}
+
+// TestXorBytesAliasing pins that dst may alias either input (the
+// WriteThrough delta computation writes into a buffer that can be one of
+// its operands).
+func TestXorBytesAliasing(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	a := make([]byte, 100)
+	b := make([]byte, 100)
+	rng.Read(a)
+	rng.Read(b)
+	want := make([]byte, 100)
+	xorBytesScalar(want, a, b)
+
+	dst := append([]byte(nil), a...)
+	xorBytes(dst, dst, b)
+	if !bytes.Equal(dst, want) {
+		t.Fatal("xorBytes with dst aliasing a diverges")
+	}
+	dst = append([]byte(nil), b...)
+	xorBytes(dst, a, dst)
+	if !bytes.Equal(dst, want) {
+		t.Fatal("xorBytes with dst aliasing b diverges")
+	}
+}
+
+func BenchmarkXorIntoBlock(b *testing.B) {
+	dst := make([]byte, BlockBytes)
+	src := make([]byte, BlockBytes)
+	b.SetBytes(BlockBytes)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		xorInto(dst, src)
+	}
+}
+
+func BenchmarkXorIntoBlockScalar(b *testing.B) {
+	dst := make([]byte, BlockBytes)
+	src := make([]byte, BlockBytes)
+	b.SetBytes(BlockBytes)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		xorIntoScalar(dst, src)
+	}
+}

@@ -9,6 +9,7 @@ package stencil
 import (
 	"fmt"
 
+	"github.com/ooc-hpf/passion/internal/bufpool"
 	"github.com/ooc-hpf/passion/internal/dist"
 	"github.com/ooc-hpf/passion/internal/iosim"
 	"github.com/ooc-hpf/passion/internal/matrix"
@@ -99,6 +100,8 @@ func (g *Grid) exchange(tag int) (ghostTop, ghostBot []float64, err error) {
 	if rank < size-1 {
 		g.proc.Send(rank+1, tag+1, bot.Data)
 	}
+	g.cur.Recycle(top)
+	g.cur.Recycle(bot)
 	if rank < size-1 {
 		ghostBot = g.proc.Recv(rank+1, tag)
 	}
@@ -120,6 +123,8 @@ func (g *Grid) Sweep(slabCols, tag int, update UpdateFunc) error {
 	if err != nil {
 		return err
 	}
+	defer mp.ReleaseBuf(ghostTop)
+	defer mp.ReleaseBuf(ghostBot)
 	rank := g.proc.Rank()
 	n, rows := g.n, g.rows
 	for c0 := 0; c0 < n; c0 += slabCols {
@@ -139,8 +144,10 @@ func (g *Grid) Sweep(slabCols, tag int, update UpdateFunc) error {
 		if err != nil {
 			return err
 		}
+		// Every element of out is Set below, so the pooled buffer needs no
+		// clearing.
 		out := &oocarray.ICLA{RowOff: 0, ColOff: c0, Rows: rows, Cols: w,
-			Data: make([]float64, rows*w)}
+			Data: bufpool.GetF64(rows * w)}
 		for cc := 0; cc < w; cc++ {
 			j := c0 + cc // columns collapsed: local == global
 			hj := j - h0
@@ -169,6 +176,8 @@ func (g *Grid) Sweep(slabCols, tag int, update UpdateFunc) error {
 		if err := g.next.WriteSection(out); err != nil {
 			return err
 		}
+		g.next.Recycle(out)
+		g.cur.Recycle(halo)
 	}
 	_ = rank
 	g.cur, g.next = g.next, g.cur
