@@ -21,6 +21,7 @@ import (
 	"github.com/ooc-hpf/passion/internal/gaxpy"
 	"github.com/ooc-hpf/passion/internal/hpf"
 	"github.com/ooc-hpf/passion/internal/iosim"
+	"github.com/ooc-hpf/passion/internal/mp"
 	"github.com/ooc-hpf/passion/internal/oocarray"
 	"github.com/ooc-hpf/passion/internal/sim"
 	"github.com/ooc-hpf/passion/internal/trace"
@@ -52,6 +53,8 @@ func main() {
 		checkpoint    = flag.Int("checkpoint", 0, "checkpoint every K eligible slab-loop iterations (0: off)")
 		resume        = flag.Bool("resume", false, "resume from the last checkpoint in -datadir instead of starting fresh")
 		parity        = flag.Bool("parity", false, "protect local array files with rotated XOR parity (survives one lost disk)")
+		killRank      = flag.String("kill-rank", "", "fail-stop RANK at its OPth message/IO operation, as RANK@OP (e.g. 1@200); surviving it needs -checkpoint and -parity")
+		watchdog      = flag.Duration("watchdog", 0, "deadlock watchdog: fail with a blocked-op dump after this much simulated-clock quiet time (0: off)")
 	)
 	flag.Parse()
 
@@ -99,6 +102,22 @@ func main() {
 		}
 		schedule = append(schedule, iosim.ScheduledFault{File: file, Op: op, Kind: iosim.KindDiskLoss})
 	}
+	var kills []mp.KillSpec
+	if *killRank != "" {
+		var rank int
+		var op int64
+		k := strings.LastIndex(*killRank, "@")
+		if k <= 0 {
+			fatal(fmt.Errorf("-kill-rank wants RANK@OP, got %q", *killRank))
+		}
+		if _, err := fmt.Sscanf((*killRank)[:k], "%d", &rank); err != nil {
+			fatal(fmt.Errorf("-kill-rank: bad rank in %q", *killRank))
+		}
+		if _, err := fmt.Sscanf((*killRank)[k+1:], "%d", &op); err != nil {
+			fatal(fmt.Errorf("-kill-rank: bad operation index in %q", *killRank))
+		}
+		kills = append(kills, mp.KillSpec{Rank: rank, Op: op})
+	}
 	var chaosFS *iosim.ChaosFS
 	if *chaos > 0 || *chaosCorrupt > 0 || *chaosDiskLoss > 0 || len(schedule) > 0 {
 		chaosFS = iosim.NewChaosFS(fs, iosim.ChaosConfig{
@@ -141,20 +160,40 @@ func main() {
 		fills[an.Transpose.Src] = func(gi, gj int) float64 { return float64(gi*nn + gj + 1) }
 	}
 	eopts := exec.Options{
-		FS:         fs,
-		Phantom:    *phantom,
-		Runtime:    oocarray.Options{Sieve: *sieve, Prefetch: *prefetch},
-		Fill:       fills,
-		Trace:      tracer,
-		Resilience: resil,
-		Checkpoint: ckpt,
-		Parity:     *parity,
+		FS:           fs,
+		Phantom:      *phantom,
+		Runtime:      oocarray.Options{Sieve: *sieve, Prefetch: *prefetch},
+		Fill:         fills,
+		Trace:        tracer,
+		Resilience:   resil,
+		Checkpoint:   ckpt,
+		Parity:       *parity,
+		Kill:         kills,
+		StallTimeout: *watchdog,
 	}
-	runner := exec.Run
-	if *resume {
-		runner = exec.Resume
+	var out *exec.Result
+	if len(kills) > 0 {
+		// An injected fail-stop loss: detect via heartbeats, agree, rebuild
+		// the dead rank's disk from parity, and resume from the checkpoint.
+		eopts.Detect = &mp.Detector{Heartbeat: 1e-3, Misses: 3}
+		var rout *exec.ResilientResult
+		rout, err = exec.RunResilient(res.Program, sim.Delta(res.Program.Procs), eopts, len(kills))
+		if err == nil {
+			out = rout.Result
+			for i, rec := range rout.Recoveries {
+				fmt.Printf("recovery %d: lost rank(s) %v; rebuilt %d file(s) (%d blocks, %s) in %.4fs simulated; resumed from checkpoint\n",
+					i+1, rec.Failed, rec.RebuildIO.Reconstructions, rec.RebuildIO.ReconstructedBlocks,
+					cliutil.FormatBytes(rec.RebuildIO.ReconstructedBytes), rec.RebuildSeconds)
+			}
+			fmt.Printf("survived %d rank failure(s) in %d attempt(s)\n", len(rout.Recoveries), rout.Attempts)
+		}
+	} else {
+		runner := exec.Run
+		if *resume {
+			runner = exec.Resume
+		}
+		out, err = runner(res.Program, sim.Delta(res.Program.Procs), eopts)
 	}
-	out, err := runner(res.Program, sim.Delta(res.Program.Procs), eopts)
 	if chaosFS != nil {
 		c := chaosFS.Counts()
 		fmt.Printf("chaos: %d ops, injected %d transient, %d permanent, %d corruptions, %d short reads, %d short writes, %d disk losses\n",

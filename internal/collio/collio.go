@@ -244,8 +244,13 @@ func Redistribute(p *mp.Proc, src, dst Side, memElems, tag int, transform func(g
 		phase("collio:shuffle", t1)
 		t2 := clock.Seconds()
 		pairs = pairs[:0]
-		for _, in := range incoming {
+		for i, in := range incoming {
 			if len(in)%2 != 0 {
+				// The payloads are arena buffers: release the rest of the
+				// round before failing or the error path leaks them.
+				for _, rest := range incoming[i:] {
+					mp.ReleaseBuf(rest)
+				}
 				return fmt.Errorf("collio: redistribute payload of %d values is not index/value pairs", len(in))
 			}
 			for i := 0; i < len(in); i += 2 {

@@ -5,6 +5,7 @@ import (
 	"strings"
 	"testing"
 
+	"github.com/ooc-hpf/passion/internal/bufpool"
 	"github.com/ooc-hpf/passion/internal/dist"
 	"github.com/ooc-hpf/passion/internal/iosim"
 	"github.com/ooc-hpf/passion/internal/mp"
@@ -329,5 +330,47 @@ func TestRedistributeRankMismatch(t *testing.T) {
 	})
 	if err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestMalformedPayloadReleasesRound pins the error path of the incoming
+// loop: a peer delivering a payload that is not index/value pairs fails
+// the redistribution, and every arena buffer of the round — the bad
+// payload and the not-yet-consumed remainder — is still returned to the
+// pool (checked mode counts every Get against a Put).
+func TestMalformedPayloadReleasesRound(t *testing.T) {
+	bufpool.SetChecked(true)
+	defer bufpool.SetChecked(false)
+	bufpool.ResetStats()
+	const tag = 31
+	_, err := mp.Run(sim.Delta(2), func(proc *mp.Proc) error {
+		if proc.Rank() == 1 {
+			// Mimic one round of the protocol by hand, but ship an
+			// odd-length payload to rank 0 (AllToAll copies parts, so a
+			// plain slice is fine here).
+			mp.ReleaseBuf(proc.AllReduceMax(tag, []float64{1}))
+			for _, in := range proc.AllToAll(tag, [][]float64{{7, 8, 9}, nil}) {
+				mp.ReleaseBuf(in)
+			}
+			return nil
+		}
+		disk := iosim.NewResilientDisk(iosim.NewMemFS(), proc.Config(), &proc.Stats().IO, nil)
+		dm, err := dist.NewArray("m", dist.NewCollapsed(4), dist.NewBlock(4, 2))
+		if err != nil {
+			return err
+		}
+		src := sideFor(t, disk, dm, 0, valueAt)
+		dst := sideFor(t, disk, dm, 0, nil)
+		rerr := Redistribute(proc, src, dst, 16, tag, nil, Direct)
+		if rerr == nil || !strings.Contains(rerr.Error(), "index/value pairs") {
+			return fmt.Errorf("want malformed-payload failure, got %v", rerr)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := bufpool.Snapshot(); s.Gets != s.Puts+s.Drops {
+		t.Fatalf("arena leak on malformed-payload error: %+v", s)
 	}
 }

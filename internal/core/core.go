@@ -91,7 +91,7 @@ func (s *Session) CompileAndRun(source string, copts compiler.Options, eopts exe
 }
 
 // Experiment names every reproducible artifact of the paper.
-var ExperimentNames = []string{"fig10", "table1", "table2", "eqcheck", "ablations", "compiled", "lu", "twophase", "disksurvival"}
+var ExperimentNames = []string{"fig10", "table1", "table2", "eqcheck", "ablations", "compiled", "lu", "twophase", "disksurvival", "ranksurvival"}
 
 // RunExperiment regenerates the named table or figure and returns its
 // formatted text (plus CSV where available).
@@ -159,6 +159,15 @@ func RunExperiment(name string, p experiments.Params) (text, csv string, err err
 		}
 		if gerr := r.Gate(); gerr != nil {
 			return r.Format(), r.CSV(), fmt.Errorf("core: disksurvival validation failed: %w", gerr)
+		}
+		return r.Format(), r.CSV(), nil
+	case "ranksurvival":
+		r, err := experiments.RankSurvival(p)
+		if err != nil {
+			return "", "", err
+		}
+		if gerr := r.Gate(); gerr != nil {
+			return r.Format(), r.CSV(), fmt.Errorf("core: ranksurvival validation failed: %w", gerr)
 		}
 		return r.Format(), r.CSV(), nil
 	default:

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"github.com/ooc-hpf/passion/internal/bufpool"
 	"github.com/ooc-hpf/passion/internal/collio"
@@ -59,6 +60,37 @@ type Options struct {
 	// declared complete. Parity maintenance is charged to the simulated
 	// clocks and surfaced in the Parity*/Reconstruct* statistics.
 	Parity bool
+	// Kill schedules injected fail-stop rank deaths: rank Rank stops
+	// immediately before its Op'th counted operation (messages and local
+	// array chunk I/O). Combine with Checkpoint and Parity under
+	// RunResilient to survive the loss.
+	Kill []mp.KillSpec
+	// Detect enables simulated-clock heartbeat failure detection: an
+	// operation blocked on a dead rank resolves to mp.ErrRankDead after
+	// the heartbeat timeout and survivors agree on the failed set. Nil
+	// leaves rank death to the closed-channel diagnostics (the run still
+	// terminates, without typed errors or agreement).
+	Detect *mp.Detector
+	// StallTimeout overrides the deadlock watchdog's wall-clock quiet
+	// period (see mp.Options.StallTimeout).
+	StallTimeout time.Duration
+	// OpCounts, when non-nil (len >= Procs), receives each rank's final
+	// fail-stop operation count; probe runs use it to learn the op-index
+	// space a kill schedule can target.
+	OpCounts []int64
+}
+
+// mpOptions maps the execution options onto the message-passing
+// machine's fault configuration.
+func (o Options) mpOptions() mp.Options {
+	return mp.Options{Kill: o.Kill, Detect: o.Detect, StallTimeout: o.StallTimeout, OpCounts: o.OpCounts}
+}
+
+// failureActive reports whether any fail-stop machinery (kill schedule,
+// detection, op counting) is configured; only then are the per-array
+// disks' operation hooks installed, keeping plain runs at zero overhead.
+func (o Options) failureActive() bool {
+	return len(o.Kill) > 0 || o.Detect != nil || o.OpCounts != nil
 }
 
 // Result is a completed execution.
@@ -130,7 +162,11 @@ const parityTag = 14
 // Run executes the program on a machine with the program's processor
 // count.
 func Run(p *plan.Program, mach sim.Config, opts Options) (*Result, error) {
-	return run(p, mach, opts, nil)
+	res, err := run(p, mach, opts, nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
 }
 
 // Resume restarts a killed or failed checkpointed run from its last
@@ -149,12 +185,21 @@ func Resume(p *plan.Program, mach sim.Config, opts Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return run(p, mach, opts, manifests)
+	res, err := run(p, mach, opts, manifests, nil)
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
 }
 
 // run executes the program, optionally restarting every processor from
 // its entry in resume (indexed by rank; nil means a fresh run).
-func run(p *plan.Program, mach sim.Config, opts Options, resume []*ckptManifest) (*Result, error) {
+// respawned lists ranks restarted after a fail-stop loss — they record a
+// respawn instant at attempt start. On failure the partial Result (with
+// the attempt's statistics) is returned alongside the error so the
+// recovery loop can report and reconcile aborted attempts; the exported
+// entry points discard it.
+func run(p *plan.Program, mach sim.Config, opts Options, resume []*ckptManifest, respawned []int) (*Result, error) {
 	mach.Procs = p.Procs
 	fs := opts.FS
 	if fs == nil {
@@ -169,8 +214,18 @@ func run(p *plan.Program, mach sim.Config, opts Options, resume []*ckptManifest)
 		}
 	}
 	perArray := make([]map[string]*trace.IOStats, mach.Procs)
-	stats, err := mp.Run(mach, func(proc *mp.Proc) error {
+	stats, err := mp.RunOpts(mach, opts.mpOptions(), func(proc *mp.Proc) error {
 		proc.SetTracer(opts.Trace.Rank(proc.Rank()))
+		for _, r := range respawned {
+			if r == proc.Rank() {
+				// This rank was lost last attempt and has been respawned:
+				// mark the restart so recovery counters reconcile.
+				proc.Stats().Comm.Respawns++
+				if tr := proc.Tracer(); tr != nil {
+					tr.Emit(trace.Span{Kind: trace.KindRespawn, Start: proc.Clock().Seconds()})
+				}
+			}
+		}
 		if pstore != nil {
 			pstore.SetCommSink(proc.Rank(), &proc.Stats().Comm)
 		}
@@ -178,12 +233,45 @@ func run(p *plan.Program, mach sim.Config, opts Options, resume []*ckptManifest)
 		if resume != nil {
 			man = resume[proc.Rank()]
 		}
-		in, err := newInterp(p, proc, fs, opts, pstore, man)
-		if err != nil {
+		in := newInterp(p, proc, fs, opts, pstore)
+		perArray[proc.Rank()] = in.perArray
+		// Fold the per-array statistics into the processor total, in
+		// sorted-key order so the float sums are reproducible (and match
+		// the span replay's fold, which uses the same order). The success
+		// path folds at the end of the body; an aborted rank (killed, or
+		// unwinding on a peer's death) folds in this handler instead, so
+		// even a failed attempt's spans and counters reconcile.
+		folded := false
+		fold := func() {
+			if folded {
+				return
+			}
+			folded = true
+			io := &proc.Stats().IO
+			names := make([]string, 0, len(in.perArray))
+			for name := range in.perArray {
+				names = append(names, name)
+			}
+			sort.Strings(names)
+			for _, name := range names {
+				io.Add(*in.perArray[name])
+			}
+		}
+		defer func() {
+			if proc.Aborted() {
+				fold()
+			}
+		}()
+		// A dead or aborting rank is fail-stop: it must not flush
+		// write-behind buffers or touch its files during the unwind.
+		defer func() {
+			if !proc.Aborted() {
+				in.close()
+			}
+		}()
+		if err := in.initArrays(opts, man); err != nil {
 			return err
 		}
-		defer in.close()
-		perArray[proc.Rank()] = in.perArray
 		startNode, startIter := 0, 0
 		if man != nil {
 			startNode, startIter = man.NodeIdx, man.Iter
@@ -204,34 +292,27 @@ func run(p *plan.Program, mach sim.Config, opts Options, resume []*ckptManifest)
 		if err := in.paritySync(); err != nil {
 			return err
 		}
-		// Fold the per-array statistics into the processor total, in
-		// sorted-key order so the float sums are reproducible (and match
-		// the span replay's fold, which uses the same order).
-		io := &proc.Stats().IO
-		names := make([]string, 0, len(in.perArray))
-		for name := range in.perArray {
-			names = append(names, name)
-		}
-		sort.Strings(names)
-		for _, name := range names {
-			io.Add(*in.perArray[name])
-		}
+		fold()
 		return nil
 	})
+	res := &Result{Stats: stats, Program: p, PerArray: perArray, fs: fs, mach: mach,
+		phantom: opts.Phantom, res: opts.Resilience, ckpt: opts.Checkpoint, pstore: pstore}
 	if err != nil {
 		// Without a checkpoint there is nothing to resume from, so a
 		// failed run must not leave local array files behind; with one,
-		// the files are the restart state and are kept.
+		// the files (and the parity protecting them) are the restart
+		// state: keep them, releasing only the store's cached handles.
 		if opts.Checkpoint == nil {
 			removeRunFiles(fs, p)
 			if pstore != nil {
 				pstore.Close()
 			}
+		} else if pstore != nil {
+			pstore.Detach()
 		}
-		return nil, fmt.Errorf("exec: %w", err)
+		return res, fmt.Errorf("exec: %w", err)
 	}
-	return &Result{Stats: stats, Program: p, PerArray: perArray, fs: fs, mach: mach,
-		phantom: opts.Phantom, res: opts.Resilience, ckpt: opts.Checkpoint, pstore: pstore}, nil
+	return res, nil
 }
 
 // ReadArray assembles the named array's global contents from the local
@@ -322,8 +403,12 @@ type interp struct {
 	writers map[string]*oocarray.SlabWriter
 }
 
-func newInterp(p *plan.Program, proc *mp.Proc, fs iosim.FS, opts Options, pstore *parity.Store, resume *ckptManifest) (*interp, error) {
-	in := &interp{
+// newInterp builds the interpreter shell; initArrays creates the arrays.
+// The split lets the node closure register the per-array statistics map
+// before any I/O happens, so even a rank killed during array fill leaves
+// reconcilable statistics behind.
+func newInterp(p *plan.Program, proc *mp.Proc, fs iosim.FS, opts Options, pstore *parity.Store) *interp {
+	return &interp{
 		prog:       p,
 		proc:       proc,
 		phantom:    opts.Phantom,
@@ -343,16 +428,27 @@ func newInterp(p *plan.Program, proc *mp.Proc, fs iosim.FS, opts Options, pstore
 		readerNext: make(map[*plan.ReadSlab]int),
 		perArray:   make(map[string]*trace.IOStats),
 	}
+}
+
+// initArrays creates (or, on resume, reattaches to) the rank's local
+// array files and fills input arrays. When fault injection is active the
+// array disks feed the processor's op counter, so kills can land between
+// I/O operations exactly as they can between message operations.
+func (in *interp) initArrays(opts Options, resume *ckptManifest) error {
+	p, proc, fs, pstore := in.prog, in.proc, in.fs, in.pstore
 	for _, spec := range p.Arrays {
 		dm, err := spec.DistArray(p.Procs)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		arrStats := &trace.IOStats{}
 		in.perArray[spec.Name] = arrStats
 		disk := iosim.NewResilientDisk(fs, proc.Config(), arrStats, opts.Resilience)
 		disk.SetPhantom(opts.Phantom)
 		disk.SetTracer(proc.Tracer(), proc.Clock(), spec.Name)
+		if opts.failureActive() {
+			disk.SetOpHook(proc.StepOp)
+		}
 		if pstore != nil {
 			disk.SetParity(pstore)
 		}
@@ -366,7 +462,7 @@ func newInterp(p *plan.Program, proc *mp.Proc, fs iosim.FS, opts Options, pstore
 			arr, err = oocarray.New(disk, dm, proc.Rank(), proc.Clock(), opts.Runtime)
 		}
 		if err != nil {
-			return nil, err
+			return err
 		}
 		in.arrays[spec.Name] = arr
 		in.slabbings[spec.Name] = arr.Slabbing(spec.SlabDim, spec.SlabElems)
@@ -379,17 +475,17 @@ func newInterp(p *plan.Program, proc *mp.Proc, fs iosim.FS, opts Options, pstore
 		if spec.Role == plan.In && !opts.Phantom && resume == nil {
 			if fill, ok := opts.Fill[spec.Name]; ok {
 				if err := arr.FillGlobal(fill); err != nil {
-					return nil, err
+					return err
 				}
 			}
 		}
 	}
 	if resume != nil {
 		if err := in.restoreFromManifest(resume); err != nil {
-			return nil, err
+			return err
 		}
 	}
-	return in, nil
+	return nil
 }
 
 // parityStatsKey is the perArray key that collects the I/O charged to

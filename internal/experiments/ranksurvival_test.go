@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRankSurvivalSweep runs the rank-loss sweep at a reduced scale and
+// asserts the acceptance gates: every injected run survives bitwise
+// identical, the detect/agree/respawn/reconstruct counters are exact,
+// the rebuild seconds match the cost model's closed form to the digit,
+// both attempts' span timelines reconcile, and the unprotected control
+// dies.
+func TestRankSurvivalSweep(t *testing.T) {
+	r, err := RankSurvival(Params{N: 48, Procs: []int{4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gerr := r.Gate(); gerr != nil {
+		t.Fatalf("gate: %v\n%s", gerr, r.Format())
+	}
+	// 3 kernels x (5-point sweep on rank 1 + one kill per other rank).
+	if len(r.Rows) < 18 {
+		t.Fatalf("sweep too small: %d rows\n%s", len(r.Rows), r.Format())
+	}
+	victims := map[int]bool{}
+	for _, row := range r.Rows {
+		victims[row.Victim] = true
+	}
+	for v := 0; v < 4; v++ {
+		if !victims[v] {
+			t.Errorf("rank %d never killed in the sweep", v)
+		}
+	}
+	text := r.Format()
+	for _, want := range []string{"gaxpy", "transpose", "stencil", "unprotected control failed as required: true"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("Format() missing %q:\n%s", want, text)
+		}
+	}
+	if !strings.Contains(r.CSV(), "program,victim,op") {
+		t.Error("CSV header missing")
+	}
+}
+
+// TestRankSurvivalDefaultScale runs the experiment at its default N=96
+// configuration — the scale the acceptance criteria name.
+func TestRankSurvivalDefaultScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("default-scale sweep is slow under -short")
+	}
+	r, err := RankSurvival(Params{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.N != 96 || r.Procs != 4 {
+		t.Fatalf("defaults wrong: N=%d procs=%d", r.N, r.Procs)
+	}
+	if gerr := r.Gate(); gerr != nil {
+		t.Fatalf("gate: %v\n%s", gerr, r.Format())
+	}
+}

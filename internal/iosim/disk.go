@@ -65,6 +65,11 @@ type Disk struct {
 	// deferred marks transfers issued by an overlap pipeline (prefetch,
 	// write-behind) whose cost reaches the clock later as io-wait.
 	deferred bool
+	// opHook, when set, runs at the entry of every chunk operation. The
+	// executor wires it to the processor's fail-stop operation counter so
+	// injected kills can land between I/O requests, not only between
+	// messages. Nil on plain runs: a single branch on the hot path.
+	opHook func()
 }
 
 // NewDisk returns a logical disk for one processor. stats may be nil, in
@@ -138,6 +143,17 @@ func (d *Disk) retryMeta(op, name string, f func() error) error {
 // paper-scale parameter sweeps cheap; correctness is established by
 // real-mode runs at smaller scales.
 func (d *Disk) SetPhantom(on bool) { d.phantom = on }
+
+// SetOpHook installs (or, with nil, removes) the per-chunk-operation
+// hook; see the field comment.
+func (d *Disk) SetOpHook(h func()) { d.opHook = h }
+
+// stepOp runs the per-operation hook, if any.
+func (d *Disk) stepOp() {
+	if d.opHook != nil {
+		d.opHook()
+	}
+}
 
 // Phantom reports whether accounting-only mode is active.
 func (d *Disk) Phantom() bool { return d.phantom }
@@ -339,6 +355,7 @@ func (l *LAF) modelBytes(elems int) int64 {
 // operation; the caller decides how to apply it to the processor clock
 // (immediately, or overlapped by a prefetch pipeline).
 func (l *LAF) ReadChunks(chunks []Chunk, dst []float64) (float64, error) {
+	l.disk.stepOp()
 	if err := l.checkChunks(chunks, dst); err != nil {
 		return 0, err
 	}
@@ -378,6 +395,7 @@ func (l *LAF) ReadChunks(chunks []Chunk, dst []float64) (float64, error) {
 // one request (PASSION-style data sieving), then extracts the requested
 // chunks into dst. It trades extra data volume for a single request.
 func (l *LAF) ReadChunksSieved(chunks []Chunk, dst []float64) (float64, error) {
+	l.disk.stepOp()
 	if err := l.checkChunks(chunks, dst); err != nil {
 		return 0, err
 	}
@@ -427,6 +445,7 @@ func (l *LAF) ReadChunksSieved(chunks []Chunk, dst []float64) (float64, error) {
 // requests regardless of how fragmented the chunks are, at the price of
 // moving the whole span twice.
 func (l *LAF) WriteChunksSieved(chunks []Chunk, src []float64) (float64, error) {
+	l.disk.stepOp()
 	if err := l.checkChunks(chunks, src); err != nil {
 		return 0, err
 	}
@@ -478,6 +497,7 @@ func (l *LAF) WriteChunksSieved(chunks []Chunk, src []float64) (float64, error) 
 // WriteChunks writes src (packed in chunk order) to the given chunks as
 // one slab store and returns the simulated duration.
 func (l *LAF) WriteChunks(chunks []Chunk, src []float64) (float64, error) {
+	l.disk.stepOp()
 	if err := l.checkChunks(chunks, src); err != nil {
 		return 0, err
 	}

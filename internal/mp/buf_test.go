@@ -202,16 +202,14 @@ func TestMailboxBackpressureBeyondCap(t *testing.T) {
 	})
 }
 
-// TestMailboxStallPanicsWithDiagnostic pins the deadlock diagnostic: a
-// mailbox that stays full past the stall timeout names the rank, peer,
-// tag and depth instead of hanging the machine.
-func TestMailboxStallPanicsWithDiagnostic(t *testing.T) {
-	old := sendStallTimeout
-	sendStallTimeout = 50 * time.Millisecond
-	defer func() { sendStallTimeout = old }()
-
+// TestMailboxStallFailsWithDiagnostic pins the deadlock watchdog: a
+// mailbox that stays full past the configured quiet period fails the run
+// with an error naming the blocked rank, peer, tag and depth instead of
+// hanging the machine (or panicking, as the old stall timer did).
+func TestMailboxStallFailsWithDiagnostic(t *testing.T) {
 	done := make(chan struct{})
-	_, err := Run(sim.Delta(2), func(p *Proc) error {
+	opts := Options{StallTimeout: 50 * time.Millisecond}
+	_, err := RunOpts(sim.Delta(2), opts, func(p *Proc) error {
 		if p.Rank() == 0 {
 			defer close(done)
 			for i := 0; i <= mailboxCap(2); i++ {
@@ -225,7 +223,7 @@ func TestMailboxStallPanicsWithDiagnostic(t *testing.T) {
 	if err == nil {
 		t.Fatal("overrunning a never-drained mailbox should fail the run")
 	}
-	for _, want := range []string{"overran its mailbox", "rank 0", "rank 1", "tag 5", "depth 64"} {
+	for _, want := range []string{"deadlock watchdog", "rank 0", "rank 1", "tag 5", "depth 64"} {
 		if !strings.Contains(err.Error(), want) {
 			t.Errorf("diagnostic %q missing %q", err.Error(), want)
 		}

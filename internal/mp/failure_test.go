@@ -1,0 +1,332 @@
+package mp
+
+import (
+	"errors"
+	"fmt"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/ooc-hpf/passion/internal/bufpool"
+	"github.com/ooc-hpf/passion/internal/sim"
+)
+
+// failTestStall bounds every injected-failure test: if detection or the
+// agreement ever regress into a hang, the watchdog converts it into a
+// loud diagnostic failure instead of a test timeout.
+const failTestStall = 2 * time.Second
+
+// ringNode is a P-rank ring exchange: each iteration sends one element
+// to the successor and receives one from the predecessor. Every rank
+// performs exactly 2*iters counted operations.
+func ringNode(iters int) NodeFunc {
+	return func(p *Proc) error {
+		next := (p.Rank() + 1) % p.Size()
+		prev := (p.Rank() - 1 + p.Size()) % p.Size()
+		for i := 0; i < iters; i++ {
+			p.Send(next, i, []float64{float64(p.Rank())})
+			in := p.Recv(prev, i)
+			if in[0] != float64(prev) {
+				return fmt.Errorf("iter %d: got %v from rank %d", i, in[0], prev)
+			}
+			ReleaseBuf(in)
+		}
+		return nil
+	}
+}
+
+// TestKillRankResolvesToTypedErrors pins the tentpole end to end at the
+// mp level: an injected kill surfaces as RankFailure carrying the agreed
+// failed set, the killed rank reports RankKilledError, and at least one
+// survivor aborted with ErrRankDead instead of hanging.
+func TestKillRankResolvesToTypedErrors(t *testing.T) {
+	opts := Options{
+		Kill:         []KillSpec{{Rank: 2, Op: 3}},
+		Detect:       &Detector{},
+		StallTimeout: failTestStall,
+	}
+	_, err := RunOpts(sim.Delta(4), opts, ringNode(4))
+	if err == nil {
+		t.Fatal("killing a rank should fail the run")
+	}
+	var rf *RankFailure
+	if !errors.As(err, &rf) {
+		t.Fatalf("error %v is not a RankFailure", err)
+	}
+	if len(rf.Failed) != 1 || rf.Failed[0] != 2 {
+		t.Errorf("Failed = %v, want [2]", rf.Failed)
+	}
+	var killed *RankKilledError
+	if !errors.As(err, &killed) || killed.Rank != 2 || killed.Op != 3 {
+		t.Errorf("missing RankKilledError{2, 3} in %v", err)
+	}
+	var dead *ErrRankDead
+	if !errors.As(err, &dead) {
+		t.Fatalf("no survivor aborted with ErrRankDead in %v", err)
+	}
+	if strings.Contains(err.Error(), "deadlock watchdog") {
+		t.Errorf("detection should resolve the failure before the watchdog: %v", err)
+	}
+}
+
+// TestSurvivorsAgreeOnFailedSet pins the agreement protocol: every
+// survivor that aborts reports the identical failed-rank set.
+func TestSurvivorsAgreeOnFailedSet(t *testing.T) {
+	opts := Options{
+		Kill:         []KillSpec{{Rank: 1, Op: 5}},
+		Detect:       &Detector{},
+		StallTimeout: failTestStall,
+	}
+	_, err := RunOpts(sim.Delta(4), opts, ringNode(6))
+	if err == nil {
+		t.Fatal("killing a rank should fail the run")
+	}
+	sets := regexp.MustCompile(`agreed on failed ranks \[([^\]]*)\]`).
+		FindAllStringSubmatch(err.Error(), -1)
+	if len(sets) == 0 {
+		t.Fatalf("no survivor reported an agreed set in %v", err)
+	}
+	for _, m := range sets {
+		if m[1] != "1" {
+			t.Errorf("a survivor agreed on [%s], want [1]: %v", m[1], err)
+		}
+	}
+}
+
+// TestDetectionChargesHeartbeatTimeout pins the simulated cost model of
+// detection: the surviving rank stalls for exactly the heartbeat timeout
+// past the death, and the detection counters record it.
+func TestDetectionChargesHeartbeatTimeout(t *testing.T) {
+	det := &Detector{Heartbeat: 1e-3, Misses: 3}
+	opts := Options{
+		Kill:         []KillSpec{{Rank: 1, Op: 0}},
+		Detect:       det,
+		StallTimeout: failTestStall,
+	}
+	stats, err := RunOpts(sim.Delta(2), opts, ringNode(1))
+	if err == nil {
+		t.Fatal("killing a rank should fail the run")
+	}
+	c := stats.Procs[0].Comm
+	if c.Detections != 1 {
+		t.Errorf("survivor Detections = %d, want 1", c.Detections)
+	}
+	if c.DetectSeconds <= 0 || c.DetectSeconds > det.Timeout() {
+		t.Errorf("survivor DetectSeconds = %v, want in (0, %v]", c.DetectSeconds, det.Timeout())
+	}
+	if c.Agreements != 1 {
+		t.Errorf("survivor Agreements = %d, want 1", c.Agreements)
+	}
+	// The victim died at simulated time 0, so the survivor's clock ends
+	// exactly at the heartbeat timeout: its pre-death progress is
+	// subsumed by the stall.
+	if got := stats.Procs[0].Seconds; got != det.Timeout() {
+		t.Errorf("survivor clock = %v, want exactly the detection timeout %v", got, det.Timeout())
+	}
+	if k := stats.Procs[1].Comm; k.Detections != 0 || k.Agreements != 0 {
+		t.Errorf("killed rank recorded detection counters: %+v", k)
+	}
+}
+
+// TestKillWithoutDetectionStillTerminates pins the detection-off
+// contract: the run still ends with an error (via the closed-channel
+// diagnostics or the watchdog), it just lacks agreement and stalls.
+func TestKillWithoutDetectionStillTerminates(t *testing.T) {
+	opts := Options{
+		Kill:         []KillSpec{{Rank: 2, Op: 3}},
+		StallTimeout: failTestStall,
+	}
+	stats, err := RunOpts(sim.Delta(4), opts, ringNode(4))
+	if err == nil {
+		t.Fatal("killing a rank should fail the run")
+	}
+	if !strings.Contains(err.Error(), "killed by fault injection") {
+		t.Errorf("missing kill diagnostic in %v", err)
+	}
+	for r, ps := range stats.Procs {
+		if ps.Comm.Detections != 0 || ps.Comm.Agreements != 0 {
+			t.Errorf("rank %d charged detection with detection disabled: %+v", r, ps.Comm)
+		}
+	}
+}
+
+// TestOpCountsProbeDeterministic pins the probe mechanism the executor's
+// kill sweeps rely on: OpCounts reports each rank's exact operation
+// count, identically across runs.
+func TestOpCountsProbeDeterministic(t *testing.T) {
+	probe := func() []int64 {
+		counts := make([]int64, 3)
+		if _, err := RunOpts(sim.Delta(3), Options{OpCounts: counts}, ringNode(5)); err != nil {
+			t.Fatal(err)
+		}
+		return counts
+	}
+	first := probe()
+	second := probe()
+	for r, n := range first {
+		if want := int64(2 * 5); n != want {
+			t.Errorf("rank %d performed %d ops, want %d", r, n, want)
+		}
+		if second[r] != n {
+			t.Errorf("rank %d op count not deterministic: %d vs %d", r, n, second[r])
+		}
+	}
+}
+
+// TestKillSweepNeverHangs kills one rank at every op index it would
+// execute and checks each run resolves to a typed failure — never the
+// watchdog, never a hang. This is the mp-level core of the ranksurvival
+// experiment gate.
+func TestKillSweepNeverHangs(t *testing.T) {
+	const procs, iters, victim = 4, 3, 1
+	counts := make([]int64, procs)
+	if _, err := RunOpts(sim.Delta(procs), Options{OpCounts: counts}, ringNode(iters)); err != nil {
+		t.Fatal(err)
+	}
+	for op := int64(0); op < counts[victim]; op++ {
+		opts := Options{
+			Kill:         []KillSpec{{Rank: victim, Op: op}},
+			Detect:       &Detector{},
+			StallTimeout: failTestStall,
+		}
+		_, err := RunOpts(sim.Delta(procs), opts, ringNode(iters))
+		if err == nil {
+			t.Fatalf("kill at op %d: run succeeded", op)
+		}
+		var rf *RankFailure
+		if !errors.As(err, &rf) {
+			t.Fatalf("kill at op %d: error %v is not a RankFailure", op, err)
+		}
+		if len(rf.Failed) != 1 || rf.Failed[0] != victim {
+			t.Errorf("kill at op %d: Failed = %v, want [%d]", op, rf.Failed, victim)
+		}
+		if strings.Contains(err.Error(), "deadlock watchdog") {
+			t.Errorf("kill at op %d resolved via the watchdog: %v", op, err)
+		}
+	}
+}
+
+// TestKilledCollectiveReleasesBuffers pins the error-path leak audit for
+// the collectives: a rank killed mid-AllReduce (and its aborting peer)
+// must return every arena buffer, verified by the checked-mode arena
+// balance.
+func TestKilledCollectiveReleasesBuffers(t *testing.T) {
+	bufpool.SetChecked(true)
+	defer bufpool.SetChecked(false)
+	bufpool.ResetStats()
+	opts := Options{
+		Kill:         []KillSpec{{Rank: 1, Op: 0}},
+		Detect:       &Detector{},
+		StallTimeout: failTestStall,
+	}
+	_, err := RunOpts(sim.Delta(2), opts, func(p *Proc) error {
+		ReleaseBuf(p.AllReduce(7, []float64{float64(p.Rank()), 1, 2, 3}))
+		return nil
+	})
+	if err == nil {
+		t.Fatal("killing a rank should fail the run")
+	}
+	if s := bufpool.Snapshot(); s.Gets != s.Puts+s.Drops {
+		t.Errorf("abort leaked arena buffers: %+v", s)
+	}
+}
+
+// TestReduceLengthMismatchReleasesBuffers pins the leak audit for a
+// plan-bug panic inside a collective: the accumulator and the received
+// contribution both return to the arena when addInto panics.
+func TestReduceLengthMismatchReleasesBuffers(t *testing.T) {
+	bufpool.SetChecked(true)
+	defer bufpool.SetChecked(false)
+	bufpool.ResetStats()
+	_, err := Run(sim.Delta(2), func(p *Proc) error {
+		data := make([]float64, 4-p.Rank()) // lengths 4 and 3: a plan bug
+		ReleaseBuf(p.Reduce(0, 9, data))
+		return nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "length mismatch") {
+		t.Fatalf("want length-mismatch failure, got %v", err)
+	}
+	if s := bufpool.Snapshot(); s.Gets != s.Puts+s.Drops {
+		t.Errorf("panic path leaked arena buffers: %+v", s)
+	}
+}
+
+// TestKillDuringSendOwnedReleasesPayload pins the ownership-transfer
+// window: a kill landing on SendOwned's charge, after the caller has
+// given the buffer up but before it reaches a mailbox, must not leak it.
+func TestKillDuringSendOwnedReleasesPayload(t *testing.T) {
+	bufpool.SetChecked(true)
+	defer bufpool.SetChecked(false)
+	bufpool.ResetStats()
+	opts := Options{
+		Kill:         []KillSpec{{Rank: 0, Op: 0}},
+		Detect:       &Detector{},
+		StallTimeout: failTestStall,
+	}
+	_, err := RunOpts(sim.Delta(2), opts, func(p *Proc) error {
+		if p.Rank() == 0 {
+			b := AcquireBuf(32)
+			clear(b)
+			p.SendOwned(1, 4, b) // dies on the charge
+			return nil
+		}
+		ReleaseBuf(p.Recv(0, 4))
+		return nil
+	})
+	if err == nil {
+		t.Fatal("killing a rank should fail the run")
+	}
+	if s := bufpool.Snapshot(); s.Gets != s.Puts+s.Drops {
+		t.Errorf("SendOwned kill window leaked arena buffers: %+v", s)
+	}
+}
+
+// TestStrandedMailboxPayloadsReturned pins the end-of-run drain: data a
+// dead rank's peers sent it but it never received is returned to the
+// arena when the machine shuts down.
+func TestStrandedMailboxPayloadsReturned(t *testing.T) {
+	bufpool.SetChecked(true)
+	defer bufpool.SetChecked(false)
+	bufpool.ResetStats()
+	opts := Options{
+		Kill:         []KillSpec{{Rank: 1, Op: 2}},
+		Detect:       &Detector{},
+		StallTimeout: failTestStall,
+	}
+	_, err := RunOpts(sim.Delta(2), opts, func(p *Proc) error {
+		if p.Rank() == 0 {
+			// Two payloads into rank 1's mailbox; it dies after draining
+			// neither (its ops are its own sends).
+			p.Send(1, 0, []float64{1, 2, 3})
+			p.Send(1, 1, []float64{4, 5, 6})
+			ReleaseBuf(p.Recv(1, 2))
+			ReleaseBuf(p.Recv(1, 3))
+			return nil
+		}
+		p.Send(0, 2, []float64{7})
+		p.Send(0, 3, []float64{8})
+		ReleaseBuf(p.Recv(0, 0)) // killed at op 2: never runs
+		ReleaseBuf(p.Recv(0, 1))
+		return nil
+	})
+	if err == nil {
+		t.Fatal("killing a rank should fail the run")
+	}
+	if s := bufpool.Snapshot(); s.Gets != s.Puts+s.Drops {
+		t.Errorf("stranded mailbox payloads leaked: %+v", s)
+	}
+}
+
+// TestKillDisabledZeroOverhead pins "zero overhead when disabled" at the
+// API level: a machine without Options carries no failState, and the
+// per-op hook is a nil check (the alloc and wallclock pins in
+// alloc_test.go and the bench gate cover the cost side).
+func TestKillDisabledZeroOverhead(t *testing.T) {
+	run(t, 2, func(p *Proc) error {
+		if p.m.fail != nil {
+			return fmt.Errorf("plain run allocated a failState")
+		}
+		return nil
+	})
+}

@@ -12,6 +12,7 @@ package mp
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -33,6 +34,24 @@ type message struct {
 type Machine struct {
 	cfg   sim.Config
 	chans [][]chan message // chans[src][dst]
+	fail  *failState       // nil on plain runs
+	wd    *watchdog
+}
+
+// pendingMsg is an agreement-protocol message that arrived at a rank
+// still running plan code, stashed until that rank joins the agreement.
+type pendingMsg struct {
+	src int
+	msg message
+}
+
+// blockInfo is a rank's currently blocked mailbox operation, read by the
+// deadlock watchdog for diagnostics (guarded by watchdog.mu).
+type blockInfo struct {
+	active    bool
+	send      bool
+	peer, tag int
+	depth     int
 }
 
 // Proc is the per-processor handle passed to the node function. All
@@ -50,6 +69,37 @@ type Proc struct {
 	a2aSeq int64
 	// flowOut/flowIn tag the next Send/Recv with a flow id.
 	flowOut, flowIn uint64
+
+	// Fail-stop bookkeeping (all zero on plain runs).
+	ops     int64        // operations performed, for the kill schedule
+	killAt  []int64      // remaining scheduled kill ops for this rank
+	failed  bool         // died or aborted on a failure
+	pending []pendingMsg // agreement messages stashed during plan code
+	blk     blockInfo
+
+	// panicBufs and panicMulti track arena buffers a collective holds
+	// mid-flight; if the operation panics (peer death, plan bug), the
+	// run's recovery handler releases them so error paths do not leak
+	// arena memory. Cleared on the success path. sendBuf covers the
+	// window in SendOwned where ownership has left the caller but the
+	// message is not yet in a mailbox.
+	panicBufs  [2][]float64
+	panicMulti [][]float64
+	sendBuf    []float64
+}
+
+// releasePanicBufs returns any buffers a panicking operation held.
+func (p *Proc) releasePanicBufs() {
+	for i, b := range p.panicBufs {
+		ReleaseBuf(b)
+		p.panicBufs[i] = nil
+	}
+	for _, b := range p.panicMulti {
+		ReleaseBuf(b)
+	}
+	p.panicMulti = nil
+	ReleaseBuf(p.sendBuf)
+	p.sendBuf = nil
 }
 
 // NodeFunc is the SPMD node program.
@@ -59,6 +109,31 @@ type NodeFunc func(p *Proc) error
 // returns the collected statistics. It propagates the first error returned
 // (or panic raised) by any node.
 func Run(cfg sim.Config, node NodeFunc) (*trace.Stats, error) {
+	return RunOpts(cfg, Options{}, node)
+}
+
+// makeProcTable pre-builds the Proc table the failure layer and the
+// watchdog need for cross-rank visibility. A plain run returns nil and
+// each node goroutine allocates its own Proc, keeping the disabled path
+// allocation-identical to a machine without the failure layer.
+func makeProcTable(m *Machine, stats *trace.Stats, p int) []*Proc {
+	if m.fail == nil && m.wd == nil {
+		return nil
+	}
+	procs := make([]*Proc, p)
+	for rank := range procs {
+		procs[rank] = &Proc{m: m, rank: rank, stats: &stats.Procs[rank]}
+		if m.fail != nil {
+			procs[rank].killAt = m.fail.kills[rank]
+		}
+	}
+	return procs
+}
+
+// RunOpts is Run with fault injection, failure detection and watchdog
+// configuration (see Options). With a zero Options it behaves exactly
+// like Run.
+func RunOpts(cfg sim.Config, opts Options, node NodeFunc) (*trace.Stats, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -69,24 +144,73 @@ func Run(cfg sim.Config, node NodeFunc) (*trace.Stats, error) {
 		m.chans[src] = make([]chan message, p)
 		for dst := 0; dst < p; dst++ {
 			// Generous buffering keeps the deterministic plans
-			// deadlock-free without a progress engine; overrunning it
-			// is a plan bug and panics in post rather than blocking.
+			// deadlock-free without a progress engine; a full mailbox is
+			// ordinary backpressure, and one that never drains is
+			// diagnosed by the deadlock watchdog rather than blocking.
 			m.chans[src][dst] = make(chan message, depth)
 		}
 	}
+	if opts.active() {
+		m.fail = newFailState(p, opts)
+	}
+	if m.fail != nil || opts.StallTimeout > 0 {
+		// The deadlock watchdog instruments every parked mailbox op, so
+		// it is armed only when the failure layer is on (aborts must
+		// never hang) or a stall timeout was asked for explicitly. Plain
+		// runs keep the seed-fast uninstrumented park paths — the
+		// wall-clock benchmark gates pin that at zero overhead.
+		stall := opts.StallTimeout
+		if stall <= 0 {
+			stall = defaultStallTimeout
+		}
+		m.wd = newWatchdog(stall)
+	}
 	stats := trace.NewStats(p)
 	errs := make([]error, p)
+	// The pre-built Proc table exists only for the failure layer and the
+	// watchdog (which inspect other ranks' state); a plain run allocates
+	// each Proc inside its own goroutine, exactly like the machine
+	// without a failure layer always has. Assigned exactly once so the
+	// node goroutines capture the slice by value, not via a heap cell.
+	procs := makeProcTable(m, stats, p)
+	if m.wd != nil {
+		m.wd.procs = procs
+		go m.wd.run()
+		defer m.wd.shutdown()
+	}
 	var wg sync.WaitGroup
 	for rank := 0; rank < p; rank++ {
 		wg.Add(1)
 		go func(rank int) {
 			defer wg.Done()
-			proc := &Proc{m: m, rank: rank, stats: &stats.Procs[rank]}
+			var proc *Proc
+			if procs != nil {
+				proc = procs[rank]
+			} else {
+				proc = &Proc{m: m, rank: rank, stats: &stats.Procs[rank]}
+			}
 			defer func() {
 				if r := recover(); r != nil {
-					errs[rank] = fmt.Errorf("mp: processor %d panicked: %v", rank, r)
+					switch v := r.(type) {
+					case killSentinel:
+						errs[rank] = &RankKilledError{Rank: v.rank, Op: v.op}
+					case deathPanic:
+						errs[rank] = v.err
+					case watchdogPanic:
+						errs[rank] = v.err
+					default:
+						errs[rank] = fmt.Errorf("mp: processor %d panicked: %v", rank, r)
+					}
+					proc.releasePanicBufs()
+				}
+				if m.fail != nil {
+					// This rank sends nothing more; wake any dependents.
+					m.fail.markDown(rank)
 				}
 				stats.Procs[rank].Seconds = proc.clock.Seconds()
+				if opts.OpCounts != nil && rank < len(opts.OpCounts) {
+					opts.OpCounts[rank] = proc.ops
+				}
 				// Close this processor's outgoing channels so peers
 				// blocked in Recv observe the termination instead of
 				// deadlocking; already-buffered messages still drain
@@ -95,23 +219,76 @@ func Run(cfg sim.Config, node NodeFunc) (*trace.Stats, error) {
 					close(m.chans[rank][dst])
 				}
 			}()
-			errs[rank] = node(proc)
+			err := node(proc)
+			if f := m.fail; f != nil && f.detectOn() && f.anyDead() {
+				// A failure is in flight but this rank finished cleanly:
+				// take part in the survivors' agreement so the aborting
+				// ranks always find a coordinator.
+				proc.participate()
+			}
+			errs[rank] = err
 		}(rank)
 	}
 	wg.Wait()
-	var failures []error
-	for rank, err := range errs {
-		if err != nil {
-			failures = append(failures, fmt.Errorf("processor %d: %w", rank, err))
+	if m.wd != nil {
+		m.wd.shutdown()
+	}
+	// Abort paths can strand payloads: messages a dead or aborted rank
+	// never received still sit in the (now closed) mailboxes, and ranks
+	// may hold stashed agreement traffic. Return all of it to the arena
+	// so failed runs do not leak buffers — checked-mode tests assert the
+	// Gets/Puts balance. Clean runs have empty mailboxes, so this costs
+	// nothing on the ordinary path.
+	for _, row := range m.chans {
+		for _, ch := range row {
+			for msg := range ch {
+				ReleaseBuf(msg.data)
+			}
 		}
 	}
-	if len(failures) > 0 {
-		// Join all node errors: under fault injection several processors
-		// typically fail at once, and reporting only the lowest rank would
-		// hide the other diagnoses.
-		return stats, fmt.Errorf("mp: %w", errors.Join(failures...))
+	for _, proc := range procs {
+		for _, pm := range proc.pending {
+			ReleaseBuf(pm.msg.data)
+		}
+		proc.pending = nil
 	}
-	return stats, nil
+	var failures []error
+	var failedSet map[int]bool // lazy: clean runs must not allocate it
+	for rank, err := range errs {
+		if err == nil {
+			continue
+		}
+		if failedSet == nil {
+			failedSet = make(map[int]bool)
+		}
+		failures = append(failures, fmt.Errorf("processor %d: %w", rank, err))
+		var killed *RankKilledError
+		if errors.As(err, &killed) {
+			failedSet[killed.Rank] = true
+		}
+		var dead *ErrRankDead
+		if errors.As(err, &dead) {
+			for _, r := range dead.Agreed {
+				failedSet[r] = true
+			}
+		}
+	}
+	if len(failures) == 0 {
+		return stats, nil
+	}
+	// Join all node errors: under fault injection several processors
+	// typically fail at once, and reporting only the lowest rank would
+	// hide the other diagnoses.
+	joined := fmt.Errorf("mp: %w", errors.Join(failures...))
+	if len(failedSet) > 0 {
+		failed := make([]int, 0, len(failedSet))
+		for r := range failedSet {
+			failed = append(failed, r)
+		}
+		sort.Ints(failed)
+		return stats, &RankFailure{Failed: failed, Err: joined}
+	}
+	return stats, joined
 }
 
 // Rank returns this processor's id in [0, Size).
@@ -155,20 +332,14 @@ func (p *Proc) Compute(flops int64) {
 // floor covering deep one-directional streams (a sender goroutine may
 // race many plan iterations ahead of a lagging receiver). A full mailbox
 // is ordinary backpressure — the sender parks until the receiver drains;
-// only a mailbox that stays full past sendStallTimeout is diagnosed as a
-// broken plan (see post).
+// only a machine-wide quiet period is diagnosed as a broken plan (see
+// the deadlock watchdog in failure.go).
 func mailboxCap(procs int) int {
 	if c := 4 * procs; c > 64 {
 		return c
 	}
 	return 64
 }
-
-// sendStallTimeout bounds how long a backpressured send may wait for the
-// receiver before the machine declares the plan deadlocked. Generous:
-// real drains take microseconds; only a missing receive leaves a send
-// pending this long. A variable so tests can shorten it.
-var sendStallTimeout = 30 * time.Second
 
 // sendCharge validates the destination and applies a message's full
 // simulated cost to the sender (blocking send model): clock, send span,
@@ -181,6 +352,7 @@ func (p *Proc) sendCharge(dst int, elems int) {
 	if dst == p.rank {
 		panic("mp: Send to self is not supported; use local data")
 	}
+	p.step()
 	bytes := int64(elems) * int64(p.m.cfg.ElemSize)
 	dt := p.m.cfg.MsgTime(bytes)
 	start := p.clock.Seconds()
@@ -196,10 +368,10 @@ func (p *Proc) sendCharge(dst int, elems int) {
 
 // post enqueues an owned buffer into the mailbox to dst. The fast path
 // is non-blocking; a full mailbox applies backpressure (the sender
-// parks until the receiver drains). A send still pending after
-// sendStallTimeout means the receiver is not draining at all — a plan
-// with a missing receive — and panics with the facts (rank, peer, tag,
-// depth) instead of hanging the machine forever.
+// parks until the receiver drains). A send that stays parked is watched
+// by the deadlock watchdog, which fails the run with every blocked
+// rank's diagnostics; with failure detection active, a destination that
+// died or aborted resolves the send into the abort path instead.
 func (p *Proc) post(dst, tag int, buf []float64) {
 	ch := p.m.chans[p.rank][dst]
 	msg := message{tag: tag, data: buf, atTime: p.clock.Seconds()}
@@ -208,13 +380,42 @@ func (p *Proc) post(dst, tag int, buf []float64) {
 		return
 	default:
 	}
-	t := time.NewTimer(sendStallTimeout)
-	defer t.Stop()
+	f := p.m.fail
+	wd := p.m.wd
+	if wd == nil {
+		// Uninstrumented run: park with a plain stall timer, exactly like
+		// the machine without the failure layer always has. A send still
+		// pending after the timeout means the receiver is not draining at
+		// all — a plan with a missing receive.
+		t := time.NewTimer(defaultStallTimeout)
+		defer t.Stop()
+		select {
+		case ch <- msg:
+		case <-t.C:
+			ReleaseBuf(buf)
+			panic(watchdogPanic{err: fmt.Errorf("mp: rank %d overran its mailbox to rank %d and stalled %v (tag %d, depth %d): the plan posts messages the receiver never takes",
+				p.rank, dst, defaultStallTimeout, tag, len(ch))})
+		}
+		return
+	}
+	var down chan struct{}
+	if f != nil {
+		down = f.down[dst]
+	}
+	wd.block(p, true, dst, tag, len(ch))
 	select {
 	case ch <- msg:
-	case <-t.C:
-		panic(fmt.Sprintf("mp: rank %d overran its mailbox to rank %d and stalled %v (tag %d, depth %d): the plan posts messages the receiver never takes",
-			p.rank, dst, sendStallTimeout, tag, len(ch)))
+		wd.unblock(p)
+	case <-down:
+		wd.unblock(p)
+		// The destination is dead or aborting and will never drain the
+		// mailbox; drop the payload and abort.
+		ReleaseBuf(buf)
+		p.deadPeer(dst, tag)
+	case <-wd.abort:
+		wd.unblock(p)
+		ReleaseBuf(buf)
+		p.watchdogFail()
 	}
 }
 
@@ -235,7 +436,11 @@ func (p *Proc) Send(dst, tag int, data []float64) {
 // message — the caller must not touch it afterwards. Simulated cost,
 // spans and statistics are identical to Send.
 func (p *Proc) SendOwned(dst, tag int, data []float64) {
+	// Ownership has already transferred; a kill landing on the charge
+	// must release the payload or the abort leaks it.
+	p.sendBuf = data
 	p.sendCharge(dst, len(data))
+	p.sendBuf = nil
 	p.post(dst, tag, data)
 }
 
@@ -251,10 +456,8 @@ func (p *Proc) Recv(src, tag int) []float64 {
 	if src < 0 || src >= p.Size() || src == p.rank {
 		panic(fmt.Sprintf("mp: Recv from invalid rank %d", src))
 	}
-	msg, ok := <-p.m.chans[src][p.rank]
-	if !ok {
-		panic(fmt.Sprintf("mp: rank %d terminated before sending the message rank %d expected (tag %d)", src, p.rank, tag))
-	}
+	p.step()
+	msg := p.recvMsg(src, tag)
 	if msg.tag != tag {
 		panic(fmt.Sprintf("mp: rank %d expected tag %d from %d, got %d", p.rank, tag, src, msg.tag))
 	}
@@ -267,6 +470,79 @@ func (p *Proc) Recv(src, tag int) []float64 {
 	p.flowIn = 0
 	p.stats.Comm.Seconds += wait
 	return msg.data
+}
+
+// recvMsg blocks for the next application message from src. Buffered
+// messages are always drained before a peer's death is acted on, so
+// the point at which a run aborts is determined by the program, not by
+// scheduling. Agreement-protocol messages that arrive early are stashed
+// for the epilogue.
+func (p *Proc) recvMsg(src, tag int) message {
+	ch := p.m.chans[src][p.rank]
+	f := p.m.fail
+	if f == nil && p.m.wd == nil {
+		// Uninstrumented run: a plain blocking receive, the cheapest park
+		// the runtime offers. The wall-clock benchmark gates pin this
+		// path at zero overhead over the machine without a failure layer.
+		msg, ok := <-ch
+		if !ok {
+			p.deadChannel(src, tag)
+		}
+		return msg
+	}
+	for {
+		// Fast path: a message (or the sender's termination) is already here.
+		select {
+		case msg, ok := <-ch:
+			if !ok {
+				p.deadChannel(src, tag)
+			}
+			if f != nil && msg.tag >= agreeTagBase {
+				p.pending = append(p.pending, pendingMsg{src: src, msg: msg})
+				continue
+			}
+			return msg
+		default:
+		}
+		var down chan struct{}
+		if f != nil {
+			down = f.down[src]
+		}
+		wd := p.m.wd
+		wd.block(p, false, src, tag, len(ch))
+		select {
+		case msg, ok := <-ch:
+			wd.unblock(p)
+			if !ok {
+				p.deadChannel(src, tag)
+			}
+			if f != nil && msg.tag >= agreeTagBase {
+				p.pending = append(p.pending, pendingMsg{src: src, msg: msg})
+				continue
+			}
+			return msg
+		case <-down:
+			wd.unblock(p)
+			// The sender died or aborted; drain anything it still
+			// delivered before acting on that (drain preference).
+			select {
+			case msg, ok := <-ch:
+				if !ok {
+					p.deadChannel(src, tag)
+				}
+				if msg.tag >= agreeTagBase {
+					p.pending = append(p.pending, pendingMsg{src: src, msg: msg})
+					continue
+				}
+				return msg
+			default:
+				p.deadPeer(src, tag)
+			}
+		case <-wd.abort:
+			wd.unblock(p)
+			p.watchdogFail()
+		}
+	}
 }
 
 // collective marks entry into a collective operation: one instant per
@@ -297,22 +573,28 @@ func (p *Proc) Reduce(root, tag int, data []float64) []float64 {
 	p.collective("reduce")
 	acc := bufpool.GetF64(len(data))
 	copy(acc, data)
+	p.panicBufs[0] = acc
 	r := p.relRank(root)
 	size := p.Size()
 	for mask := 1; mask < size; mask <<= 1 {
 		if r&mask != 0 {
 			dst := p.absRank(r-mask, root)
+			p.panicBufs[0] = nil // ownership moves to the message
 			p.SendOwned(dst, internalTagBase+tag, acc)
 			if r != 0 {
 				return nil
 			}
+			p.panicBufs[0] = acc
 		} else if r+mask < size {
 			src := p.absRank(r+mask, root)
 			in := p.Recv(src, internalTagBase+tag)
+			p.panicBufs[1] = in
 			p.addInto(acc, in)
+			p.panicBufs[1] = nil
 			ReleaseBuf(in)
 		}
 	}
+	p.panicBufs[0] = nil
 	if r == 0 {
 		return acc
 	}
@@ -348,6 +630,7 @@ func (p *Proc) Bcast(root, tag int, data []float64) []float64 {
 			// This processor receives at level mask.
 			src := p.absRank(r-mask, root)
 			data = p.Recv(src, internalTagBase+tag)
+			p.panicBufs[0] = data
 			received = true
 		}
 	}
@@ -366,6 +649,7 @@ func (p *Proc) Bcast(root, tag int, data []float64) []float64 {
 			p.Send(dst, internalTagBase+tag, data)
 		}
 	}
+	p.panicBufs[0] = nil
 	return data
 }
 
@@ -374,7 +658,9 @@ func (p *Proc) Bcast(root, tag int, data []float64) []float64 {
 // result is an arena buffer the caller owns. Non-roots pass their nil
 // reduce result straight into Bcast, which never reads it there.
 func (p *Proc) AllReduce(tag int, data []float64) []float64 {
-	return p.Bcast(0, tag, p.Reduce(0, tag, data))
+	red := p.Reduce(0, tag, data)
+	p.panicBufs[0] = red // root holds the sum across the broadcast's sends
+	return p.Bcast(0, tag, red)
 }
 
 // Barrier blocks until every processor has entered it, and synchronizes
@@ -394,6 +680,7 @@ func (p *Proc) Gather(root, tag int, data []float64) [][]float64 {
 		return nil
 	}
 	out := make([][]float64, p.Size())
+	p.panicMulti = out
 	for r := 0; r < p.Size(); r++ {
 		if r == root {
 			buf := bufpool.GetF64(len(data))
@@ -403,6 +690,7 @@ func (p *Proc) Gather(root, tag int, data []float64) [][]float64 {
 		}
 		out[r] = p.Recv(r, internalTagBase+tag)
 	}
+	p.panicMulti = nil
 	return out
 }
 
@@ -438,6 +726,7 @@ func (p *Proc) AllToAll(tag int, parts [][]float64) [][]float64 {
 		panic(fmt.Sprintf("mp: AllToAll wants %d parts, got %d", size, len(parts)))
 	}
 	out := make([][]float64, size)
+	p.panicMulti = out
 	buf := bufpool.GetF64(len(parts[p.rank]))
 	copy(buf, parts[p.rank])
 	out[p.rank] = buf
@@ -459,6 +748,7 @@ func (p *Proc) AllToAll(tag int, parts [][]float64) [][]float64 {
 		p.Send(dst, internalTagBase+tag, parts[dst])
 		out[src] = p.Recv(src, internalTagBase+tag)
 	}
+	p.panicMulti = nil
 	return out
 }
 

@@ -62,26 +62,32 @@ func (p *Proc) ReduceWith(root, tag int, data []float64, op Op) []float64 {
 	p.collective(op.Name())
 	acc := bufpool.GetF64(len(data))
 	copy(acc, data)
+	p.panicBufs[0] = acc
 	r := p.relRank(root)
 	size := p.Size()
 	for mask := 1; mask < size; mask <<= 1 {
 		if r&mask != 0 {
 			dst := p.absRank(r-mask, root)
+			p.panicBufs[0] = nil // ownership moves to the message
 			p.SendOwned(dst, internalTagBase+tag, acc)
 			if r != 0 {
 				return nil
 			}
+			p.panicBufs[0] = acc
 		} else if r+mask < size {
 			src := p.absRank(r+mask, root)
 			in := p.Recv(src, internalTagBase+tag)
+			p.panicBufs[1] = in
 			if len(in) != len(acc) {
 				panic(fmt.Sprintf("mp: %s reduction length mismatch %d vs %d", op.Name(), len(in), len(acc)))
 			}
 			op.Combine(acc, in)
 			p.Compute(int64(len(in)))
+			p.panicBufs[1] = nil
 			ReleaseBuf(in)
 		}
 	}
+	p.panicBufs[0] = nil
 	if r == 0 {
 		return acc
 	}
@@ -92,7 +98,9 @@ func (p *Proc) ReduceWith(root, tag int, data []float64, op Op) []float64 {
 // which every rank owns. Non-roots pass their nil reduce result straight
 // into Bcast, which never reads it there.
 func (p *Proc) AllReduceWith(tag int, data []float64, op Op) []float64 {
-	return p.Bcast(0, tag, p.ReduceWith(0, tag, data, op))
+	red := p.ReduceWith(0, tag, data, op)
+	p.panicBufs[0] = red // root holds the result across the broadcast's sends
+	return p.Bcast(0, tag, red)
 }
 
 // AllReduceMax returns the elementwise maximum across processors — used

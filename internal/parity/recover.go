@@ -122,9 +122,14 @@ func (st *Store) Recover(d *iosim.Disk, name string, cause error) (float64, erro
 		if st.lostParity[pname] {
 			return fail(fmt.Errorf("parity: stripe %d parity on %s is itself lost (double fault)", s, pname))
 		}
-		ph := st.handles[pname]
-		if ph == nil {
-			return fail(fmt.Errorf("parity: no parity file %s", pname))
+		// Open lazily (never create: that would truncate live parity). A
+		// fresh Store over Attach-ed files reaches here with no cached
+		// handles at all — the pre-existing parity files on the shared
+		// file system are the source of truth.
+		ph, hs, err := st.dataHandle(pname)
+		sec += hs
+		if err != nil {
+			return fail(fmt.Errorf("parity: no parity file %s: %w", pname, err))
 		}
 		if err := gather(ph, pname, q*BlockBytes, BlockBytes); err != nil {
 			return fail(err)
@@ -228,9 +233,18 @@ func (st *Store) dataHandleFor(ni *namedInfo) (iosim.File, float64, error) {
 func (st *Store) RebuildRank(d *iosim.Disk, rank int) (float64, error) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
+	// Fast path: with no dirty group and no lost parity file anywhere
+	// there is nothing to rebuild for any rank, and the ordinary
+	// end-of-run sweep must stay allocation-free.
+	if len(st.dirty) == 0 && len(st.lostParity) == 0 {
+		return 0, nil
+	}
 	var sec float64
 	var errs []error
-	for base := range st.members {
+	// memberBases is kept sorted: the float accumulation of the rebuild
+	// seconds must be reproducible (and must match the cost model's
+	// closed form exactly).
+	for _, base := range st.memberBases {
 		if !st.dirty[base] && !st.lostParity[ParityFileName(base, rank)] {
 			continue
 		}
@@ -264,6 +278,15 @@ func (st *Store) rebuildParityFileLocked(d *iosim.Disk, base string, p int) (flo
 		q := (blocks + int64(st.procs-1) - 1) / int64(st.procs-1)
 		if q > maxQ {
 			maxQ = q
+		}
+	}
+	// Rank order, not map order: the gather sequence (and so the float
+	// accumulation of its seconds) must be reproducible. Insertion sort:
+	// the group has at most procs members and sort.Slice would allocate
+	// on a path the wall-clock benchmark gates.
+	for i := 1; i < len(members); i++ {
+		for j := i; j > 0 && members[j-1].rank > members[j].rank; j-- {
+			members[j-1], members[j] = members[j], members[j-1]
 		}
 	}
 

@@ -3,6 +3,7 @@ package parity
 import (
 	"fmt"
 	"io"
+	"sort"
 	"sync"
 
 	"github.com/ooc-hpf/passion/internal/bufpool"
@@ -29,7 +30,14 @@ type Store struct {
 	bases   map[string]bool      // protected group base names
 	files   map[string]*fileInfo // data file name -> registration
 	members map[string]int       // base -> registered member count
-	handles map[string]iosim.File
+	// memberBases mirrors the keys of members in sorted order, so
+	// rebuild sweeps iterate groups deterministically without building
+	// and sorting a slice per call (the per-rank end-of-run sweep is on
+	// the allocation-gated hot path). It is backed by baseArr so runs
+	// with few groups never allocate for it.
+	memberBases []string
+	baseArr     [8]string
+	handles     map[string]iosim.File
 	// dirty marks groups whose parity content cannot be trusted until a
 	// full rebuild: files opened with unknown history, or members
 	// removed while the group was still live.
@@ -150,6 +158,44 @@ func (st *Store) Close() {
 	}
 }
 
+// Attach registers a pre-existing protected file as a trusted member of
+// its group without flagging the group dirty. The executor's offline
+// rank-recovery pre-pass uses it: the failed attempt maintained parity
+// write-through for every surviving file, so re-registering them under a
+// fresh Store must not force a resync — a dirty group would refuse the
+// very reconstruction the pre-pass exists to run. Unlike Opened, which
+// must presume unknown history, Attach is only correct when the caller
+// knows the parity on the backing store matches the file content.
+func (st *Store) Attach(name string, bytes int64) {
+	base, rank, ok := parseLAF(name)
+	if !ok {
+		return
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if !st.bases[base] {
+		return
+	}
+	if _, known := st.files[name]; !known {
+		st.members[base]++
+		st.noteBase(base)
+		st.files[name] = &fileInfo{base: base, rank: rank, bytes: bytes}
+	}
+}
+
+// Detach releases every cached handle but, unlike Close, leaves the
+// parity files on the backing store. Transient stores (the recovery
+// pre-pass) detach so the parity a later pass or the resumed attempt
+// still needs survives them.
+func (st *Store) Detach() {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	for name, h := range st.handles {
+		h.Close()
+		delete(st.handles, name)
+	}
+}
+
 // Protects implements iosim.ParityHook.
 func (st *Store) Protects(name string) bool {
 	base, _, ok := parseLAF(name)
@@ -183,6 +229,7 @@ func (st *Store) Created(name string, bytes int64) {
 		st.degraded = true
 	} else {
 		st.members[base]++
+		st.noteBase(base)
 	}
 	st.files[name] = &fileInfo{base: base, rank: rank, bytes: bytes}
 	if st.members[base] == 1 {
@@ -205,6 +252,7 @@ func (st *Store) Opened(name string, bytes int64) {
 	}
 	if _, known := st.files[name]; !known {
 		st.members[base]++
+		st.noteBase(base)
 		st.files[name] = &fileInfo{base: base, rank: rank, bytes: bytes}
 		st.dirty[base] = true
 	}
@@ -231,6 +279,7 @@ func (st *Store) Removed(name string) {
 		return
 	}
 	delete(st.members, fi.base)
+	st.forgetBase(fi.base)
 	delete(st.dirty, fi.base)
 	for p := 0; p < st.procs; p++ {
 		pname := ParityFileName(fi.base, p)
@@ -242,6 +291,30 @@ func (st *Store) Removed(name string) {
 		if !st.phantom {
 			st.fs.Remove(pname) // best effort: the run is over
 		}
+	}
+}
+
+// noteBase records a group whose first member just registered, keeping
+// memberBases sorted. Called with st.mu held.
+func (st *Store) noteBase(base string) {
+	if st.memberBases == nil {
+		st.memberBases = st.baseArr[:0]
+	}
+	i := sort.SearchStrings(st.memberBases, base)
+	if i < len(st.memberBases) && st.memberBases[i] == base {
+		return
+	}
+	st.memberBases = append(st.memberBases, "")
+	copy(st.memberBases[i+1:], st.memberBases[i:])
+	st.memberBases[i] = base
+}
+
+// forgetBase drops a retired group from memberBases. Called with st.mu
+// held.
+func (st *Store) forgetBase(base string) {
+	i := sort.SearchStrings(st.memberBases, base)
+	if i < len(st.memberBases) && st.memberBases[i] == base {
+		st.memberBases = append(st.memberBases[:i], st.memberBases[i+1:]...)
 	}
 }
 

@@ -101,6 +101,13 @@ func ReplayRank(spans []Span) *RankReplay {
 		case KindCompute:
 			r.Flops += s.N
 			r.ComputeSeconds += s.Dur
+		case KindDetect:
+			r.Comm.Detections++
+			r.Comm.DetectSeconds += s.Dur
+		case KindAgree:
+			r.Comm.Agreements++
+		case KindRespawn:
+			r.Comm.Respawns++
 		}
 	}
 	return r

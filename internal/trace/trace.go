@@ -200,6 +200,18 @@ type CommStats struct {
 	// charged with the reconstruction I/O, not into Seconds here.
 	RecoveryMessages int64
 	RecoveryBytes    int64
+
+	// Fail-stop fault tolerance counters (see internal/mp failure
+	// detection). Detections counts peers this rank declared dead;
+	// DetectSeconds is the simulated heartbeat-timeout stall charged for
+	// them (kept out of Seconds so the comm time of a run stays
+	// comparable to the failure-free closed forms). Agreements counts
+	// PREPARE/COMMIT rounds this rank concluded while aborting; Respawns
+	// counts times this rank's goroutine was respawned during recovery.
+	Detections    int64
+	DetectSeconds float64
+	Agreements    int64
+	Respawns      int64
 }
 
 // Add accumulates other into s, field by field (see combineFields).

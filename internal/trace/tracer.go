@@ -87,6 +87,17 @@ const (
 	// KindPhase brackets one collective-I/O stage (Label =
 	// "collio:read" / "collio:shuffle" / "collio:write"). Overlay.
 	KindPhase
+	// KindDetect is the failure-detection stall of an aborting rank: the
+	// simulated heartbeat timeout it waits before declaring a peer dead
+	// (Peer = the dead rank, Dur = the wait). Its seconds land in
+	// CommStats.DetectSeconds, not Seconds.
+	KindDetect
+	// KindAgree is an instant marking one completed PREPARE/COMMIT
+	// agreement round on an aborting rank (N = agreed dead-rank count).
+	KindAgree
+	// KindRespawn is an instant marking a previously dead rank's
+	// goroutine being respawned at the start of a recovery attempt.
+	KindRespawn
 
 	numKinds
 )
@@ -96,7 +107,7 @@ var kindNames = [numKinds]string{
 	"read-req", "write-req", "retry", "give-up", "corruption", "fault",
 	"parity-rmw", "parity-rebuild", "reconstruct", "recovery-comm",
 	"open-recover", "parity-sync", "collective", "shuffle",
-	"checkpoint", "node", "phase",
+	"checkpoint", "node", "phase", "detect", "agree", "respawn",
 }
 
 // String returns the kind's stable name (used as the Chrome trace-event
