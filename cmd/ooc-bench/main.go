@@ -13,6 +13,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http/httptest"
 	"os"
 	"strings"
 
@@ -20,7 +21,8 @@ import (
 	"github.com/ooc-hpf/passion/internal/core"
 	"github.com/ooc-hpf/passion/internal/experiments"
 	"github.com/ooc-hpf/passion/internal/oocarray"
-	"github.com/ooc-hpf/passion/internal/sim"
+	"github.com/ooc-hpf/passion/internal/serve"
+	"github.com/ooc-hpf/passion/internal/serve/loadtest"
 	"github.com/ooc-hpf/passion/internal/wallbench"
 )
 
@@ -41,11 +43,23 @@ func main() {
 		wallOut      = flag.String("wallclock-out", "", "write the wall-clock report to this JSON file")
 		wallBaseline = flag.String("wallclock-baseline", "", "compare against this committed baseline and fail on regression")
 		wallNsFactor = flag.Float64("wallclock-ns-factor", 2.0, "allowed ns/op slowdown factor vs the baseline")
+
+		serveMode     = flag.Bool("serve", false, "drive an in-process ooc-serve with concurrent jobs instead of the paper experiments")
+		serveJobs     = flag.Int("serve-jobs", 500, "total jobs to submit in -serve mode")
+		serveConc     = flag.Int("serve-concurrency", 32, "concurrent submitters in -serve mode")
+		serveTenants  = flag.Int("serve-tenants", 4, "tenant names the load is spread over")
+		serveWorkers  = flag.Int("serve-workers", 4, "server worker pool size in -serve mode")
+		serveGate     = flag.Bool("serve-gate", false, "fail unless every job completed and the cache hit ratio clears -serve-hit-ratio")
+		serveHitRatio = flag.Float64("serve-hit-ratio", 0.9, "minimum cache hit ratio for -serve-gate")
 	)
 	flag.Parse()
 
 	if *wallclock {
 		runWallclock(*wallKernels, *wallOut, *wallBaseline, *wallNsFactor)
+		return
+	}
+	if *serveMode {
+		runServe(*serveJobs, *serveConc, *serveTenants, *serveWorkers, *serveGate, *serveHitRatio)
 		return
 	}
 
@@ -54,15 +68,10 @@ func main() {
 		Real: *real,
 		Opts: oocarray.Options{Sieve: *sieve, Prefetch: *prefetch},
 	}
-	switch *machine {
-	case "delta":
-		params.Machine = sim.Delta
-	case "modern":
-		params.Machine = sim.Modern
-	default:
-		fatal(fmt.Errorf("unknown machine %q (want delta or modern)", *machine))
-	}
 	var err error
+	if params.Machine, err = cliutil.MachineFor(*machine); err != nil {
+		fatal(err)
+	}
 	if params.Procs, err = cliutil.ParseInts(*procsList); err != nil {
 		fatal(err)
 	}
@@ -127,6 +136,38 @@ func runWallclock(kernels, out, baseline string, nsFactor float64) {
 			fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "wallbench: within baseline %s (ns/op factor %.1f, allocs exact)\n", baseline, nsFactor)
+	}
+}
+
+// runServe starts an in-process ooc-serve, floods it with the loadtest
+// mix over HTTP, and prints the report; with gate on, a lost job or a
+// cold cache fails the run.
+func runServe(jobs, concurrency, tenants, workers int, gate bool, minHitRatio float64) {
+	s := serve.New(serve.Config{Workers: workers})
+	ts := httptest.NewServer(s.Handler())
+	rep, err := loadtest.Run(ts.URL, loadtest.Config{
+		Jobs:        jobs,
+		Concurrency: concurrency,
+		Tenants:     tenants,
+	})
+	ts.Close()
+	s.Close()
+	if rep != nil {
+		text, jerr := json.MarshalIndent(rep, "", "  ")
+		if jerr != nil {
+			fatal(jerr)
+		}
+		fmt.Printf("%s\n", text)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	if gate {
+		if err := loadtest.Gate(rep, minHitRatio); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "serve: %d jobs completed, 0 errors, cache hit ratio %.3f (gate %.3f)\n",
+			rep.Completed, rep.CacheHitRatio, minHitRatio)
 	}
 }
 

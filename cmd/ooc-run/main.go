@@ -22,7 +22,6 @@ import (
 	"github.com/ooc-hpf/passion/internal/hpf"
 	"github.com/ooc-hpf/passion/internal/iosim"
 	"github.com/ooc-hpf/passion/internal/mp"
-	"github.com/ooc-hpf/passion/internal/oocarray"
 	"github.com/ooc-hpf/passion/internal/sim"
 	"github.com/ooc-hpf/passion/internal/trace"
 )
@@ -33,9 +32,6 @@ func main() {
 		procs    = flag.Int("procs", 4, "processor count")
 		mem      = flag.Int("mem", 1<<15, "node memory for slabs, in elements")
 		force    = flag.String("force", "", "force a strategy: row-slab/column-slab, or direct/sieved/two-phase for transpose")
-		phantom  = flag.Bool("phantom", false, "accounting-only mode (no data, no verification)")
-		sieve    = flag.Bool("sieve", false, "use data sieving for discontiguous slabs")
-		prefetch = flag.Bool("prefetch", false, "overlap slab reads with computation")
 		dataDir  = flag.String("datadir", "", "keep local array files under this directory (default: in memory)")
 		verify   = flag.Bool("verify", true, "check the result against the closed form")
 		timeline = flag.Bool("timeline", false, "print an ASCII timeline, phase attribution and critical path")
@@ -44,18 +40,10 @@ func main() {
 		traceOut  = flag.String("trace", "", "write a Chrome-trace-event (Perfetto) JSON timeline to this file")
 		statsJSON = flag.String("stats-json", "", "write the execution statistics snapshot as JSON to this file")
 
-		chaos         = flag.Float64("chaos", 0, "probability of a transient fault per file operation")
-		chaosCorrupt  = flag.Float64("chaos-corrupt", 0, "probability of a flipped bit per file read")
-		chaosDiskLoss = flag.Float64("chaos-disk-loss", 0, "probability that a file operation takes down its whole logical disk")
-		loseDisk      = flag.String("lose-disk", "", "lose the disk holding FILE at its OPth operation, as FILE@OP (e.g. c.p1.laf@40)")
-		chaosSeed     = flag.Int64("chaos-seed", 1, "seed of the deterministic fault injection")
-		retries       = flag.Int("retries", -1, "retry budget per I/O operation (-1: default policy when faults are injected)")
-		checkpoint    = flag.Int("checkpoint", 0, "checkpoint every K eligible slab-loop iterations (0: off)")
-		resume        = flag.Bool("resume", false, "resume from the last checkpoint in -datadir instead of starting fresh")
-		parity        = flag.Bool("parity", false, "protect local array files with rotated XOR parity (survives one lost disk)")
-		killRank      = flag.String("kill-rank", "", "fail-stop RANK at its OPth message/IO operation, as RANK@OP (e.g. 1@200); surviving it needs -checkpoint and -parity")
-		watchdog      = flag.Duration("watchdog", 0, "deadlock watchdog: fail with a blocked-op dump after this much simulated-clock quiet time (0: off)")
+		resume = flag.Bool("resume", false, "resume from the last checkpoint in -datadir instead of starting fresh")
 	)
+	var rf cliutil.RunFlags
+	rf.Register(nil)
 	flag.Parse()
 
 	src := hpf.GaxpySource
@@ -68,7 +56,7 @@ func main() {
 	}
 
 	res, err := compiler.CompileSource(src, compiler.Options{
-		N: *n, Procs: *procs, MemElems: *mem, Force: *force, Sieve: *sieve,
+		N: *n, Procs: *procs, MemElems: *mem, Force: *force, Sieve: rf.Sieve,
 		Policy: compiler.PolicyWeighted,
 	})
 	if err != nil {
@@ -77,107 +65,36 @@ func main() {
 	fmt.Printf("compiled %s: strategy %s on %d processors, n=%d\n",
 		res.Program.Name, res.Program.Strategy, res.Program.Procs, res.Program.N)
 
-	var fs iosim.FS = iosim.NewMemFS()
+	var baseFS iosim.FS
 	if *dataDir != "" {
 		osfs, err := iosim.NewOSFS(*dataDir)
 		if err != nil {
 			fatal(err)
 		}
-		fs = osfs
+		baseFS = osfs
 	} else if *resume {
 		fatal(fmt.Errorf("-resume needs -datadir: an in-memory run leaves no checkpoint behind"))
 	}
 
-	var schedule []iosim.ScheduledFault
-	if *loseDisk != "" {
-		var file string
-		var op int64
-		if k := strings.LastIndex(*loseDisk, "@"); k > 0 {
-			file = (*loseDisk)[:k]
-			if _, err := fmt.Sscanf((*loseDisk)[k+1:], "%d", &op); err != nil {
-				fatal(fmt.Errorf("-lose-disk: bad operation index in %q", *loseDisk))
-			}
-		} else {
-			fatal(fmt.Errorf("-lose-disk wants FILE@OP, got %q", *loseDisk))
-		}
-		schedule = append(schedule, iosim.ScheduledFault{File: file, Op: op, Kind: iosim.KindDiskLoss})
+	eopts, chaosFS, err := rf.Build(baseFS, *resume)
+	if err != nil {
+		fatal(err)
 	}
-	var kills []mp.KillSpec
-	if *killRank != "" {
-		var rank int
-		var op int64
-		k := strings.LastIndex(*killRank, "@")
-		if k <= 0 {
-			fatal(fmt.Errorf("-kill-rank wants RANK@OP, got %q", *killRank))
-		}
-		if _, err := fmt.Sscanf((*killRank)[:k], "%d", &rank); err != nil {
-			fatal(fmt.Errorf("-kill-rank: bad rank in %q", *killRank))
-		}
-		if _, err := fmt.Sscanf((*killRank)[k+1:], "%d", &op); err != nil {
-			fatal(fmt.Errorf("-kill-rank: bad operation index in %q", *killRank))
-		}
-		kills = append(kills, mp.KillSpec{Rank: rank, Op: op})
-	}
-	var chaosFS *iosim.ChaosFS
-	if *chaos > 0 || *chaosCorrupt > 0 || *chaosDiskLoss > 0 || len(schedule) > 0 {
-		chaosFS = iosim.NewChaosFS(fs, iosim.ChaosConfig{
-			Seed:       *chaosSeed,
-			PTransient: *chaos,
-			PCorrupt:   *chaosCorrupt,
-			PDiskLoss:  *chaosDiskLoss,
-			Schedule:   schedule,
-		})
-		fs = chaosFS
-	}
-	var resil *iosim.Resilience
-	if *retries >= 0 || chaosFS != nil {
-		policy := iosim.DefaultRetryPolicy()
-		if *retries >= 0 {
-			policy.MaxRetries = *retries
-		}
-		resil = iosim.NewResilience(policy)
-	}
-	var ckpt *exec.CheckpointSpec
-	if *checkpoint > 0 || *resume {
-		every := *checkpoint
-		if every < 1 {
-			every = 1
-		}
-		ckpt = &exec.CheckpointSpec{Every: every}
-	}
+	resil := eopts.Resilience
 	an := res.Analysis
 	var tracer *trace.Tracer
 	if *timeline || *traceOut != "" {
 		tracer = trace.NewTracer(res.Program.Procs)
 	}
-	fills := map[string]func(int, int) float64{}
-	switch res.Analysis.Pattern {
-	case compiler.PatternGaxpy:
-		fills[an.A] = gaxpy.FillA
-		fills[an.B] = gaxpy.FillB
-	case compiler.PatternTranspose:
-		nn := res.Program.N
-		fills[an.Transpose.Src] = func(gi, gj int) float64 { return float64(gi*nn + gj + 1) }
-	}
-	eopts := exec.Options{
-		FS:           fs,
-		Phantom:      *phantom,
-		Runtime:      oocarray.Options{Sieve: *sieve, Prefetch: *prefetch},
-		Fill:         fills,
-		Trace:        tracer,
-		Resilience:   resil,
-		Checkpoint:   ckpt,
-		Parity:       *parity,
-		Kill:         kills,
-		StallTimeout: *watchdog,
-	}
+	eopts.Fill = cliutil.FillsFor(res)
+	eopts.Trace = tracer
 	var out *exec.Result
-	if len(kills) > 0 {
+	if len(eopts.Kill) > 0 {
 		// An injected fail-stop loss: detect via heartbeats, agree, rebuild
 		// the dead rank's disk from parity, and resume from the checkpoint.
 		eopts.Detect = &mp.Detector{Heartbeat: 1e-3, Misses: 3}
 		var rout *exec.ResilientResult
-		rout, err = exec.RunResilient(res.Program, sim.Delta(res.Program.Procs), eopts, len(kills))
+		rout, err = exec.RunResilient(res.Program, sim.Delta(res.Program.Procs), eopts, len(eopts.Kill))
 		if err == nil {
 			out = rout.Result
 			for i, rec := range rout.Recoveries {
@@ -207,7 +124,7 @@ func main() {
 		fmt.Printf("resilience: %d retries (%.4fs simulated backoff), %d corruptions detected, %d give-ups\n",
 			io.Retries, io.RetrySeconds, io.Corruptions, io.GiveUps)
 	}
-	if *parity {
+	if rf.Parity {
 		io := out.Stats.TotalIO()
 		comm := out.Stats.TotalComm()
 		fmt.Printf("parity: %d reads, %d writes (%s in, %s out) of redundancy maintenance\n",
@@ -277,7 +194,7 @@ func main() {
 			comm.ShuffleMessages, cliutil.FormatBytes(comm.ShuffleBytes))
 	}
 
-	if *verify && !*phantom && res.Analysis.Pattern == compiler.PatternGaxpy {
+	if *verify && !rf.Phantom && res.Analysis.Pattern == compiler.PatternGaxpy {
 		c, err := out.ReadArray(an.C)
 		if err != nil {
 			fatal(err)
@@ -292,12 +209,12 @@ func main() {
 		}
 		fmt.Printf("verification: C matches the closed form exactly (%dx%d elements)\n", c.Rows, c.Cols)
 	}
-	if *verify && !*phantom && res.Analysis.Pattern == compiler.PatternTranspose {
+	if *verify && !rf.Phantom && res.Analysis.Pattern == compiler.PatternTranspose {
 		b, err := out.ReadArray(an.Transpose.Dst)
 		if err != nil {
 			fatal(err)
 		}
-		fill := fills[an.Transpose.Src]
+		fill := eopts.Fill[an.Transpose.Src]
 		for j := 0; j < b.Cols; j++ {
 			for i := 0; i < b.Rows; i++ {
 				if b.At(i, j) != fill(j, i) {

@@ -1,0 +1,79 @@
+// ooc-serve runs the multi-tenant compile-and-run service: POST a job
+// to /jobs and get back the execution statistics the CLI would have
+// printed, bitwise identical to a direct run.
+//
+// Usage:
+//
+//	ooc-serve -addr :8080 -workers 4 -mem-budget-mb 1024
+//	curl -s localhost:8080/jobs -d '{"n":64,"procs":4}'
+//
+// SIGINT/SIGTERM starts a graceful drain: /healthz flips to 503, new
+// submissions are rejected, in-flight and queued jobs finish (up to
+// -drain-timeout), then the process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"github.com/ooc-hpf/passion/internal/serve"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8080", "listen address")
+		workers      = flag.Int("workers", 4, "concurrent job executions")
+		queueLimit   = flag.Int("queue", 1024, "maximum queued jobs")
+		cacheEntries = flag.Int("cache", 128, "compiled-plan LRU capacity")
+		budgetMB     = flag.Int64("mem-budget-mb", 1024, "host-memory budget for inflight jobs, in MiB")
+		timeout      = flag.Duration("timeout", time.Minute, "default per-job execution deadline")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful-drain deadline on SIGTERM")
+	)
+	flag.Parse()
+
+	s := serve.New(serve.Config{
+		Workers:        *workers,
+		QueueLimit:     *queueLimit,
+		CacheEntries:   *cacheEntries,
+		MemoryBudget:   *budgetMB << 20,
+		DefaultTimeout: *timeout,
+	})
+	httpSrv := &http.Server{Addr: *addr, Handler: s.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	fmt.Printf("ooc-serve: listening on %s (%d workers, %d MiB budget)\n", *addr, *workers, *budgetMB)
+
+	select {
+	case err := <-errc:
+		fatal(err)
+	case <-ctx.Done():
+	}
+	fmt.Println("ooc-serve: draining")
+	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	drainErr := s.Drain(dctx)
+	if err := httpSrv.Shutdown(dctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fatal(err)
+	}
+	m := s.MetricsSnapshot()
+	fmt.Printf("ooc-serve: drained; %d completed, %d failed, %d cancelled, cache hit ratio %.3f\n",
+		m.Completed, m.Failed, m.Cancelled, m.Cache.HitRatio)
+	if drainErr != nil {
+		fatal(fmt.Errorf("drain: %w", drainErr))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ooc-serve:", err)
+	os.Exit(1)
+}

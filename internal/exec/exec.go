@@ -6,6 +6,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -162,7 +163,17 @@ const parityTag = 14
 // Run executes the program on a machine with the program's processor
 // count.
 func Run(p *plan.Program, mach sim.Config, opts Options) (*Result, error) {
-	res, err := run(p, mach, opts, nil, nil)
+	return RunCtx(context.Background(), p, mach, opts)
+}
+
+// RunCtx is Run under a context: a cancelled or expired context stops
+// every processor at its next plan-node boundary, the run unwinds like
+// any other failed attempt (files removed unless checkpointed, slab
+// buffers returned to the arena), and the returned error wraps
+// ctx.Err(). The check is free on the plain path — context.Background's
+// Err is a constant nil.
+func RunCtx(ctx context.Context, p *plan.Program, mach sim.Config, opts Options) (*Result, error) {
+	res, err := run(ctx, p, mach, opts, nil, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -185,7 +196,7 @@ func Resume(p *plan.Program, mach sim.Config, opts Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := run(p, mach, opts, manifests, nil)
+	res, err := run(context.Background(), p, mach, opts, manifests, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -199,7 +210,10 @@ func Resume(p *plan.Program, mach sim.Config, opts Options) (*Result, error) {
 // the attempt's statistics) is returned alongside the error so the
 // recovery loop can report and reconcile aborted attempts; the exported
 // entry points discard it.
-func run(p *plan.Program, mach sim.Config, opts Options, resume []*ckptManifest, respawned []int) (*Result, error) {
+func run(ctx context.Context, p *plan.Program, mach sim.Config, opts Options, resume []*ckptManifest, respawned []int) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	mach.Procs = p.Procs
 	fs := opts.FS
 	if fs == nil {
@@ -233,8 +247,12 @@ func run(p *plan.Program, mach sim.Config, opts Options, resume []*ckptManifest,
 		if resume != nil {
 			man = resume[proc.Rank()]
 		}
-		in := newInterp(p, proc, fs, opts, pstore)
+		in := newInterp(ctx, p, proc, fs, opts, pstore)
 		perArray[proc.Rank()] = in.perArray
+		// Runs last (defers are LIFO): whatever path the run leaves by —
+		// success, cancellation, fault abort, plan-bug panic — the slab
+		// buffers the interpreter still holds go back to the arena.
+		defer in.releaseBufs()
 		// Fold the per-array statistics into the processor total, in
 		// sorted-key order so the float sums are reproducible (and match
 		// the span replay's fold, which uses the same order). The success
@@ -361,6 +379,7 @@ func (r *Result) ReadArray(name string) (*matrix.Matrix, error) {
 // Interpreter
 
 type interp struct {
+	ctx     context.Context
 	prog    *plan.Program
 	proc    *mp.Proc
 	phantom bool
@@ -407,8 +426,9 @@ type interp struct {
 // The split lets the node closure register the per-array statistics map
 // before any I/O happens, so even a rank killed during array fill leaves
 // reconcilable statistics behind.
-func newInterp(p *plan.Program, proc *mp.Proc, fs iosim.FS, opts Options, pstore *parity.Store) *interp {
+func newInterp(ctx context.Context, p *plan.Program, proc *mp.Proc, fs iosim.FS, opts Options, pstore *parity.Store) *interp {
 	return &interp{
+		ctx:        ctx,
 		prog:       p,
 		proc:       proc,
 		phantom:    opts.Phantom,
@@ -630,6 +650,13 @@ func (in *interp) runBody(body []plan.Node) error {
 }
 
 func (in *interp) run(n plan.Node) error {
+	// Every plan node is an op boundary: a cancelled or expired context
+	// stops the rank here, before the node's I/O or communication. The
+	// plain path runs under context.Background, whose Err is a constant
+	// nil — the wallbench allocs/ns gates pin that at zero overhead.
+	if err := in.ctx.Err(); err != nil {
+		return fmt.Errorf("cancelled at op boundary: %w", err)
+	}
 	switch n := n.(type) {
 	case *plan.Loop:
 		count, err := in.count(n.Count)
@@ -999,4 +1026,33 @@ func (in *interp) recycle(arr *oocarray.Array, s *oocarray.ICLA) {
 		}
 	}
 	arr.Recycle(s)
+}
+
+// releaseBufs returns every slab buffer the interpreter still holds —
+// named ICLAs, staging slabs, prefetched-but-undelivered reader slabs —
+// to the arena. It runs on every exit path (success, cancellation,
+// fault abort), so a checked-mode Gets/Puts balance holds across a
+// whole run, not just across the collective layers. Tables can alias
+// one ICLA; the seen set guarantees a single release.
+func (in *interp) releaseBufs() {
+	seen := make(map[*oocarray.ICLA]bool, len(in.bufs)+len(in.staging))
+	rel := func(s *oocarray.ICLA) {
+		if s == nil || seen[s] {
+			return
+		}
+		seen[s] = true
+		if s.Data != nil {
+			bufpool.PutF64(s.Data)
+			s.Data = nil
+		}
+	}
+	for _, s := range in.bufs {
+		rel(s)
+	}
+	for _, s := range in.staging {
+		rel(s)
+	}
+	for _, r := range in.readers {
+		r.Close()
+	}
 }

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -62,6 +63,17 @@ type ResilientResult struct {
 // non-failure errors, and losses without both Checkpoint and Parity
 // configured are returned as errors, joined with any recovery context.
 func RunResilient(p *plan.Program, mach sim.Config, opts Options, maxRecoveries int) (*ResilientResult, error) {
+	return RunResilientCtx(context.Background(), p, mach, opts, maxRecoveries)
+}
+
+// RunResilientCtx is RunResilient under a context: cancellation stops
+// the in-flight attempt at the next op boundary and also ends the
+// recovery loop — a cancelled job must not rebuild disks and relaunch
+// itself. The returned error wraps ctx.Err().
+func RunResilientCtx(ctx context.Context, p *plan.Program, mach sim.Config, opts Options, maxRecoveries int) (*ResilientResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if opts.FS == nil {
 		// Recovery spans several runs over one backing store.
 		opts.FS = iosim.NewMemFS()
@@ -75,11 +87,14 @@ func RunResilient(p *plan.Program, mach sim.Config, opts Options, maxRecoveries 
 			opts.Trace = trace.NewTracer(p.Procs)
 		}
 		rr.Attempts++
-		res, err := run(p, mach, opts, manifests, respawned)
+		res, err := run(ctx, p, mach, opts, manifests, respawned)
 		if err == nil {
 			rr.Result = res
 			rr.Trace = opts.Trace
 			return rr, nil
+		}
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, fmt.Errorf("exec: recovery abandoned: %w", errors.Join(cerr, err))
 		}
 		var rf *mp.RankFailure
 		if !errors.As(err, &rf) || len(rf.Failed) == 0 {

@@ -20,11 +20,22 @@ func (a *Array) NewSlabReader(s Slabbing) *SlabReader {
 }
 
 // Reset rewinds the reader for another pass over the slabs. A pending
-// prefetched slab is discarded (its cost was never charged).
+// prefetched slab is discarded (its cost was never charged) and its
+// storage returned to the arena.
 func (r *SlabReader) Reset() {
 	r.next = 0
+	r.arr.Recycle(r.pending)
 	r.pending = nil
 	r.pendingReady = 0
+}
+
+// Close releases a pending prefetched slab, if any. Call it when the
+// reader is abandoned before exhaustion — a cancelled run, an early
+// error — so the prefetch buffer returns to the arena; a drained or
+// fresh reader makes it a no-op.
+func (r *SlabReader) Close() {
+	r.arr.Recycle(r.pending)
+	r.pending = nil
 }
 
 // Remaining returns how many slabs have not been delivered yet.

@@ -1,0 +1,132 @@
+package plan_test
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/ooc-hpf/passion/internal/compiler"
+	"github.com/ooc-hpf/passion/internal/hpf"
+	"github.com/ooc-hpf/passion/internal/plan"
+	"github.com/ooc-hpf/passion/internal/sim"
+)
+
+func compileFor(t *testing.T, n, procs, mem int, mach sim.Config) *plan.Program {
+	t.Helper()
+	res, err := compiler.CompileSource(hpf.GaxpySource, compiler.Options{
+		N: n, Procs: procs, MemElems: mem, Machine: mach, Policy: compiler.PolicyWeighted,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Program
+}
+
+// TestFingerprintGolden pins the canonical hash of a fixed compilation:
+// any change to the encoding (or to what the compiler emits for this
+// input) must be a conscious one, because it invalidates every
+// previously cached plan.
+func TestFingerprintGolden(t *testing.T) {
+	p := compileFor(t, 64, 4, 1<<12, sim.Delta(4))
+	const want = "1cc933062ff1bbce16e643f2ebd61ce6"
+	got := plan.Fingerprint(p, nil)
+	if got != want {
+		t.Fatalf("golden fingerprint changed:\n got %s\nwant %s", got, want)
+	}
+	// Recompiling the same source must reproduce it exactly.
+	if again := plan.Fingerprint(compileFor(t, 64, 4, 1<<12, sim.Delta(4)), nil); again != got {
+		t.Fatalf("recompilation changed the fingerprint: %s vs %s", again, got)
+	}
+}
+
+// TestFingerprintMapOrderInsensitive proves the extra key/value pairs are
+// folded in a canonical order: many repeated evaluations of the same map
+// (Go randomizes iteration order per range) and two maps populated in
+// opposite insertion orders all agree.
+func TestFingerprintMapOrderInsensitive(t *testing.T) {
+	p := compileFor(t, 64, 4, 1<<12, sim.Delta(4))
+	fwd := make(map[string]string)
+	rev := make(map[string]string)
+	for i := 0; i < 32; i++ {
+		fwd[fmt.Sprintf("k%02d", i)] = fmt.Sprintf("v%d", i)
+	}
+	for i := 31; i >= 0; i-- {
+		rev[fmt.Sprintf("k%02d", i)] = fmt.Sprintf("v%d", i)
+	}
+	first := plan.Fingerprint(p, fwd)
+	for i := 0; i < 16; i++ {
+		if got := plan.Fingerprint(p, fwd); got != first {
+			t.Fatalf("iteration %d: fingerprint drifted: %s vs %s", i, got, first)
+		}
+	}
+	if got := plan.Fingerprint(p, rev); got != first {
+		t.Fatalf("insertion order changed the fingerprint: %s vs %s", got, first)
+	}
+	if plain := plan.Fingerprint(p, nil); plain == first {
+		t.Fatal("extra pairs did not contribute to the fingerprint")
+	}
+}
+
+// TestFingerprintSensitivity drives every cache-key field — P, M and the
+// machine cost parameters — and checks each one lands on a distinct
+// fingerprint (so the plan cache can never serve a plan compiled for a
+// different machine or memory budget).
+func TestFingerprintSensitivity(t *testing.T) {
+	base := plan.Fingerprint(compileFor(t, 64, 4, 1<<12, sim.Delta(4)), nil)
+	seen := map[string]string{"base": base}
+	add := func(label, fp string) {
+		t.Helper()
+		for prev, pf := range seen {
+			if pf == fp {
+				t.Fatalf("%s collides with %s: %s", label, prev, fp)
+			}
+		}
+		seen[label] = fp
+	}
+	add("procs=8", plan.Fingerprint(compileFor(t, 64, 8, 1<<12, sim.Delta(8)), nil))
+	add("n=128", plan.Fingerprint(compileFor(t, 128, 4, 1<<12, sim.Delta(4)), nil))
+	add("mem=2x", plan.Fingerprint(compileFor(t, 64, 4, 1<<13, sim.Delta(4)), nil))
+
+	// Cost parameters that flip the compiler's strategy choice change
+	// the plan tree itself; parameters that do not are still part of the
+	// cache key via the extra pairs the serving layer folds in.
+	p := compileFor(t, 64, 4, 1<<12, sim.Delta(4))
+	kv := func(c sim.Config) map[string]string {
+		return map[string]string{
+			"compute_rate":  fmt.Sprint(c.ComputeRate),
+			"disk_overhead": fmt.Sprint(c.DiskRequestOverhead),
+			"disk_bw":       fmt.Sprint(c.DiskBandwidth),
+		}
+	}
+	delta, modern := sim.Delta(4), sim.Modern(4)
+	add("extra-delta", plan.Fingerprint(p, kv(delta)))
+	add("extra-modern", plan.Fingerprint(p, kv(modern)))
+	bumped := delta
+	bumped.DiskRequestOverhead *= 2
+	add("extra-overhead-2x", plan.Fingerprint(p, kv(bumped)))
+}
+
+// TestFingerprintBodySensitivity edits a copied plan tree in place and
+// checks the hash notices structural changes a textual rendering could
+// miss (field swaps within a node, emptied loop bodies).
+func TestFingerprintBodySensitivity(t *testing.T) {
+	mk := func() *plan.Program { return compileFor(t, 64, 4, 1<<12, sim.Delta(4)) }
+	base := plan.Fingerprint(mk(), nil)
+
+	p := mk()
+	p.Strategy = "tampered"
+	if plan.Fingerprint(p, nil) == base {
+		t.Fatal("strategy change not reflected")
+	}
+	p = mk()
+	p.Arrays[0].SlabElems++
+	if plan.Fingerprint(p, nil) == base {
+		t.Fatal("slab size change not reflected")
+	}
+	p = mk()
+	if lp, ok := p.Body[len(p.Body)-1].(*plan.Loop); ok {
+		lp.Body = nil
+		if plan.Fingerprint(p, nil) == base {
+			t.Fatal("emptied loop body not reflected")
+		}
+	}
+}

@@ -1,0 +1,95 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+)
+
+// Handler returns the server's HTTP API:
+//
+//	POST /jobs     submit a Request, block until done, stream the Response
+//	GET  /healthz  200 {"ok":true} while accepting, 503 while draining
+//	GET  /metrics  the Metrics snapshot
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/jobs", s.handleJobs)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	return mux
+}
+
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, fmt.Errorf("POST only"))
+		return
+	}
+	var req Request
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	resp, err := s.Submit(r.Context(), req)
+	if err != nil {
+		httpError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// statusFor maps submission outcomes to status codes: rejected for
+// capacity → 429 (retryable), draining → 503, compile and validation
+// errors → 400, deadline → 504, client gone → 499-style 408, execution
+// faults → 500.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, ErrBusy), errors.Is(err, ErrOversize):
+		return http.StatusTooManyRequests
+	case errors.Is(err, ErrDraining):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return http.StatusRequestTimeout
+	}
+	var compileErr *compileError
+	if errors.As(err, &compileErr) {
+		return http.StatusBadRequest
+	}
+	return http.StatusInternalServerError
+}
+
+// compileError marks request-side failures (bad source, bad machine
+// name) so the HTTP layer reports them as the client's fault.
+type compileError struct{ err error }
+
+func (e *compileError) Error() string { return e.err.Error() }
+func (e *compileError) Unwrap() error { return e.err }
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"ok": false, "draining": true})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"ok": true})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.MetricsSnapshot())
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,134 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func postJob(t *testing.T, ts *httptest.Server, body string) (*http.Response, map[string]any) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var m map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	return resp, m
+}
+
+func TestHTTPJobRoundTrip(t *testing.T) {
+	s := New(Config{Workers: 2})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, m := postJob(t, ts, `{"n":64,"procs":4,"mem_elems":4096,"tenant":"curl"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %v", resp.StatusCode, m)
+	}
+	for _, key := range []string{"job_id", "plan_fingerprint", "strategy", "sim_seconds", "stats"} {
+		if _, ok := m[key]; !ok {
+			t.Errorf("response missing %q", key)
+		}
+	}
+	if m["tenant"] != "curl" {
+		t.Errorf("tenant = %v", m["tenant"])
+	}
+
+	// Identical resubmission hits the cache and reproduces the clock.
+	_, m2 := postJob(t, ts, `{"n":64,"procs":4,"mem_elems":4096,"tenant":"curl"}`)
+	if m2["cache_hit"] != true {
+		t.Error("second identical job should hit the plan cache")
+	}
+	if m2["sim_seconds"] != m["sim_seconds"] {
+		t.Errorf("sim_seconds changed across identical jobs: %v vs %v", m["sim_seconds"], m2["sim_seconds"])
+	}
+}
+
+func TestHTTPErrorMapping(t *testing.T) {
+	s := New(Config{Workers: 1, MemoryBudget: 1 << 20})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	cases := []struct {
+		name, body string
+		status     int
+	}{
+		{"bad json", `{"n":`, http.StatusBadRequest},
+		{"unknown field", `{"frobnicate":1}`, http.StatusBadRequest},
+		{"bad machine", `{"machine":"cray"}`, http.StatusBadRequest},
+		{"bad source", `{"source":"not hpf at all"}`, http.StatusBadRequest},
+		{"oversize", `{"n":512,"procs":4,"mem_elems":4096}`, http.StatusTooManyRequests},
+	}
+	for _, tc := range cases {
+		resp, m := postJob(t, ts, tc.body)
+		if resp.StatusCode != tc.status {
+			t.Errorf("%s: status %d, want %d (%v)", tc.name, resp.StatusCode, tc.status, m)
+		}
+		if m["error"] == "" {
+			t.Errorf("%s: no error text", tc.name)
+		}
+	}
+
+	if resp, err := http.Get(ts.URL + "/jobs"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Errorf("GET /jobs: status %d, want 405", resp.StatusCode)
+		}
+	}
+}
+
+func TestHTTPHealthAndMetricsAcrossDrain(t *testing.T) {
+	s := New(Config{Workers: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz while serving: %d", resp.StatusCode)
+	}
+
+	if err := s.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("healthz while draining: %d, want 503", resp.StatusCode)
+	}
+	httpResp, m := postJob(t, ts, `{"n":64}`)
+	if httpResp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("submit while draining: %d, want 503 (%v)", httpResp.StatusCode, m)
+	}
+
+	// Metrics stay readable after the drain.
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var metrics Metrics
+	if err := json.NewDecoder(resp.Body).Decode(&metrics); err != nil {
+		t.Fatal(err)
+	}
+	if metrics.RejectedDraining == 0 {
+		t.Error("draining rejection not counted")
+	}
+}

@@ -1,0 +1,186 @@
+// Package loadtest drives a running ooc-serve instance with thousands
+// of concurrent small jobs and reports completion, error and cache-hit
+// statistics. ooc-bench -serve uses it as the serving load gate.
+package loadtest
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/ooc-hpf/passion/internal/hpf"
+	"github.com/ooc-hpf/passion/internal/serve"
+)
+
+// Config shapes the load.
+type Config struct {
+	// Jobs is the total number of submissions (default 500).
+	Jobs int
+	// Concurrency is the number of concurrent submitters (default 32).
+	Concurrency int
+	// Tenants spreads the jobs round-robin over this many tenant names
+	// (default 4), exercising the fair-share queues.
+	Tenants int
+	// Mix is the set of request templates cycled over; nil takes
+	// DefaultMix.
+	Mix []serve.Request
+	// RetryBudget bounds per-job retries of 429 (capacity) rejections
+	// (default 100); admission pushback is expected under load and a
+	// retried job that eventually completes is a success.
+	RetryBudget int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Jobs <= 0 {
+		c.Jobs = 500
+	}
+	if c.Concurrency <= 0 {
+		c.Concurrency = 32
+	}
+	if c.Tenants <= 0 {
+		c.Tenants = 4
+	}
+	if len(c.Mix) == 0 {
+		c.Mix = DefaultMix()
+	}
+	if c.RetryBudget <= 0 {
+		c.RetryBudget = 100
+	}
+	return c
+}
+
+// DefaultMix returns small jobs over the three built-in kernels — the
+// paper's GAXPY, the collective transpose, and the elementwise update —
+// plus a chaos-disturbed GAXPY, so the load covers the plain, shuffle
+// and resilient execution paths while staying cache-friendly.
+func DefaultMix() []serve.Request {
+	return []serve.Request{
+		{N: 64, Procs: 4, MemElems: 1 << 12},
+		{Source: hpf.TransposeSource, N: 64, Procs: 4, MemElems: 1 << 12},
+		{Source: hpf.EwiseSource, N: 64, Procs: 4, MemElems: 1 << 12},
+		{N: 64, Procs: 4, MemElems: 1 << 12, Chaos: 0.01, ChaosSeed: 7},
+	}
+}
+
+// Report is the outcome of one load run.
+type Report struct {
+	Jobs        int     `json:"jobs"`
+	Completed   int     `json:"completed"`
+	Errors      int     `json:"errors"`
+	Retried429  int64   `json:"retried_429"`
+	WallSeconds float64 `json:"wall_seconds"`
+	// StatusCounts tallies final HTTP statuses per job (a retried-then-
+	// completed job counts once, as 200).
+	StatusCounts map[int]int `json:"status_counts"`
+	// CacheHitRatio and Metrics come from the server's /metrics after
+	// the run.
+	CacheHitRatio float64       `json:"cache_hit_ratio"`
+	Metrics       serve.Metrics `json:"metrics"`
+}
+
+// Run drives baseURL with cfg's load and collects the report. Errors
+// submitting (after retries) are counted, not fatal; the returned error
+// covers only harness-level failures.
+func Run(baseURL string, cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	client := &http.Client{}
+
+	var (
+		mu       sync.Mutex
+		statuses = make(map[int]int)
+		retried  atomic.Int64
+		errs     atomic.Int64
+	)
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < cfg.Concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				req := cfg.Mix[i%len(cfg.Mix)]
+				req.Tenant = fmt.Sprintf("tenant-%d", i%cfg.Tenants)
+				status, err := submit(client, baseURL, req, cfg.RetryBudget, &retried)
+				if err != nil || status != http.StatusOK {
+					errs.Add(1)
+				}
+				mu.Lock()
+				statuses[status]++
+				mu.Unlock()
+			}
+		}()
+	}
+	for i := 0; i < cfg.Jobs; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+
+	rep := &Report{
+		Jobs:         cfg.Jobs,
+		Errors:       int(errs.Load()),
+		Retried429:   retried.Load(),
+		WallSeconds:  time.Since(start).Seconds(),
+		StatusCounts: statuses,
+	}
+	rep.Completed = statuses[http.StatusOK]
+	if err := fetchMetrics(client, baseURL, rep); err != nil {
+		return rep, err
+	}
+	return rep, nil
+}
+
+// submit posts one job, retrying capacity rejections with linear
+// backoff. It returns the final status (0 on transport failure).
+func submit(client *http.Client, baseURL string, req serve.Request, budget int, retried *atomic.Int64) (int, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return 0, err
+	}
+	for attempt := 0; ; attempt++ {
+		resp, err := client.Post(baseURL+"/jobs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return 0, err
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusTooManyRequests || attempt >= budget {
+			return resp.StatusCode, nil
+		}
+		retried.Add(1)
+		time.Sleep(time.Duration(attempt+1) * time.Millisecond)
+	}
+}
+
+func fetchMetrics(client *http.Client, baseURL string, rep *Report) error {
+	resp, err := client.Get(baseURL + "/metrics")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(&rep.Metrics); err != nil {
+		return err
+	}
+	rep.CacheHitRatio = rep.Metrics.Cache.HitRatio
+	return nil
+}
+
+// Gate fails the run unless every job completed and the cache hit ratio
+// cleared minHitRatio — the CI serving gate.
+func Gate(rep *Report, minHitRatio float64) error {
+	if rep.Errors > 0 || rep.Completed != rep.Jobs {
+		return fmt.Errorf("loadtest: %d/%d jobs completed, %d errors (statuses %v)",
+			rep.Completed, rep.Jobs, rep.Errors, rep.StatusCounts)
+	}
+	if rep.CacheHitRatio < minHitRatio {
+		return fmt.Errorf("loadtest: cache hit ratio %.3f below the %.3f gate",
+			rep.CacheHitRatio, minHitRatio)
+	}
+	return nil
+}

@@ -1,0 +1,550 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/ooc-hpf/passion/internal/bufpool"
+	"github.com/ooc-hpf/passion/internal/cliutil"
+	"github.com/ooc-hpf/passion/internal/compiler"
+	"github.com/ooc-hpf/passion/internal/exec"
+	"github.com/ooc-hpf/passion/internal/hpf"
+	"github.com/ooc-hpf/passion/internal/mp"
+	"github.com/ooc-hpf/passion/internal/plan"
+	"github.com/ooc-hpf/passion/internal/sim"
+	"github.com/ooc-hpf/passion/internal/trace"
+)
+
+// Submission errors the HTTP layer maps to status codes.
+var (
+	// ErrOversize rejects a job whose estimated footprint exceeds the
+	// whole memory budget — it could never be admitted.
+	ErrOversize = errors.New("serve: job footprint exceeds the memory budget")
+	// ErrBusy rejects a job because the queue is full.
+	ErrBusy = errors.New("serve: queue full")
+	// ErrDraining rejects a job because the server is shutting down.
+	ErrDraining = errors.New("serve: draining")
+)
+
+// Config tunes a Server. Zero values take the defaults noted per field.
+type Config struct {
+	// Workers bounds concurrent executions (default 4).
+	Workers int
+	// QueueLimit bounds the total number of queued jobs (default 1024).
+	QueueLimit int
+	// CacheEntries bounds the compiled-plan LRU (default 128).
+	CacheEntries int
+	// MemoryBudget bounds the summed estimated footprint of inflight
+	// jobs, in bytes (default 1 GiB). A job whose own estimate exceeds
+	// the budget is rejected outright; otherwise dispatch waits until
+	// its reservation fits.
+	MemoryBudget int64
+	// DefaultTimeout is the per-job execution deadline when the request
+	// does not set one (default 60s).
+	DefaultTimeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.QueueLimit <= 0 {
+		c.QueueLimit = 1024
+	}
+	if c.CacheEntries <= 0 {
+		c.CacheEntries = 128
+	}
+	if c.MemoryBudget <= 0 {
+		c.MemoryBudget = 1 << 30
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 60 * time.Second
+	}
+	return c
+}
+
+// job is one admitted submission moving through the queue.
+type job struct {
+	id          string
+	req         Request
+	res         *compiler.Result
+	mach        sim.Config
+	fingerprint string
+	cacheHit    bool
+	footprint   int64
+	ctx         context.Context
+
+	done chan struct{}
+	resp *Response
+	err  error
+}
+
+// tenantCounters is the per-tenant accounting view.
+type tenantCounters struct {
+	Submitted int64 `json:"submitted"`
+	Completed int64 `json:"completed"`
+	Failed    int64 `json:"failed"`
+	Rejected  int64 `json:"rejected"`
+}
+
+// Server is the compile-and-run service. Create with New, submit with
+// Submit (or over HTTP via Handler), and stop with Drain or Close.
+type Server struct {
+	cfg   Config
+	cache *planCache
+
+	mu       sync.Mutex
+	dispatch *sync.Cond // signaled on job arrival and shutdown
+	change   *sync.Cond // signaled on completion, release and drain
+	queues   map[string][]*job
+	ring     []string // tenants in first-arrival order; empty queues are skipped
+	rr       int
+	queued   int
+	inflight int
+	reserved int64
+	draining bool
+	closed   bool
+	tenants  map[string]*tenantCounters
+
+	wg     sync.WaitGroup
+	jobSeq atomic.Int64
+
+	submitted        atomic.Int64
+	completed        atomic.Int64
+	failed           atomic.Int64
+	cancelled        atomic.Int64
+	rejectedOversize atomic.Int64
+	rejectedBusy     atomic.Int64
+	rejectedDraining atomic.Int64
+}
+
+// New starts a server with cfg's worker pool running.
+func New(cfg Config) *Server {
+	s := &Server{
+		cfg:     cfg.withDefaults(),
+		queues:  make(map[string][]*job),
+		tenants: make(map[string]*tenantCounters),
+	}
+	s.cache = newPlanCache(s.cfg.CacheEntries)
+	s.dispatch = sync.NewCond(&s.mu)
+	s.change = sync.NewCond(&s.mu)
+	for i := 0; i < s.cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Submit compiles, admits, queues and executes one job, blocking until
+// it completes or ctx is cancelled. Rejections return ErrOversize,
+// ErrBusy or ErrDraining without executing anything.
+func (s *Server) Submit(ctx context.Context, req Request) (*Response, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	req = req.withDefaults()
+	s.submitted.Add(1)
+
+	j, err := s.prepare(ctx, req)
+	if err != nil {
+		s.reject(req.Tenant, err)
+		return nil, err
+	}
+	if err := s.enqueue(j); err != nil {
+		s.reject(req.Tenant, err)
+		return nil, err
+	}
+	select {
+	case <-j.done:
+		return j.resp, j.err
+	case <-ctx.Done():
+		// The job stays queued; whoever dispatches it sees the dead
+		// context and discards it. Wake budget waiters so a worker
+		// parked on this job's behalf rechecks.
+		s.mu.Lock()
+		s.change.Broadcast()
+		s.mu.Unlock()
+		return nil, ctx.Err()
+	}
+}
+
+// prepare resolves the machine, compiles through the cache and sizes
+// the admission reservation.
+func (s *Server) prepare(ctx context.Context, req Request) (*job, error) {
+	machineFor, err := cliutil.MachineFor(req.Machine)
+	if err != nil {
+		return nil, &compileError{err}
+	}
+	mach := machineFor(req.Procs)
+	src := req.Source
+	if src == "" {
+		src = hpf.GaxpySource
+	}
+	res, fp, hit, err := s.cache.getOrCompile(req.cacheKey(mach), func() (*compiler.Result, string, error) {
+		r, cerr := compiler.CompileSource(src, compiler.Options{
+			N: req.N, Procs: req.Procs, MemElems: req.MemElems,
+			Machine: mach, Force: req.Force, Sieve: req.Sieve,
+			Policy: compiler.PolicyWeighted,
+		})
+		if cerr != nil {
+			return nil, "", &compileError{fmt.Errorf("serve: compile: %w", cerr)}
+		}
+		return r, plan.Fingerprint(r.Program, fingerprintExtras(mach, req.MemElems)), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	footprint := EstimateFootprint(res.Program, req.Phantom, req.Parity)
+	if footprint > s.cfg.MemoryBudget {
+		return nil, fmt.Errorf("%w: need %d bytes, budget %d", ErrOversize, footprint, s.cfg.MemoryBudget)
+	}
+	return &job{
+		id:          fmt.Sprintf("job-%d", s.jobSeq.Add(1)),
+		req:         req,
+		res:         res,
+		mach:        mach,
+		fingerprint: fp,
+		cacheHit:    hit,
+		footprint:   footprint,
+		ctx:         ctx,
+		done:        make(chan struct{}),
+	}, nil
+}
+
+// enqueue admits the job into its tenant's FIFO.
+func (s *Server) enqueue(j *job) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining || s.closed {
+		return ErrDraining
+	}
+	if s.queued >= s.cfg.QueueLimit {
+		return fmt.Errorf("%w: %d jobs queued", ErrBusy, s.queued)
+	}
+	t := j.req.Tenant
+	if _, ok := s.queues[t]; !ok && !contains(s.ring, t) {
+		s.ring = append(s.ring, t)
+	}
+	s.queues[t] = append(s.queues[t], j)
+	s.queued++
+	s.tenant(t).Submitted++
+	s.dispatch.Signal()
+	return nil
+}
+
+func contains(ss []string, s string) bool {
+	for _, x := range ss {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
+
+// tenant returns t's counters, creating them on first use. Callers hold
+// s.mu.
+func (s *Server) tenant(t string) *tenantCounters {
+	tc := s.tenants[t]
+	if tc == nil {
+		tc = &tenantCounters{}
+		s.tenants[t] = tc
+	}
+	return tc
+}
+
+func (s *Server) reject(tenant string, err error) {
+	switch {
+	case errors.Is(err, ErrOversize):
+		s.rejectedOversize.Add(1)
+	case errors.Is(err, ErrBusy):
+		s.rejectedBusy.Add(1)
+	case errors.Is(err, ErrDraining):
+		s.rejectedDraining.Add(1)
+	}
+	s.mu.Lock()
+	s.tenant(tenant).Rejected++
+	s.mu.Unlock()
+}
+
+// worker pulls jobs fair-share, reserves their footprint against the
+// budget, and executes them.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		j := s.next()
+		if j == nil {
+			return
+		}
+		if err := s.reserve(j); err != nil {
+			s.finish(j, nil, err)
+			continue
+		}
+		resp, err := s.runJob(j)
+		s.release(j.footprint)
+		s.finish(j, resp, err)
+	}
+}
+
+// next blocks until a job is available or the server closes (nil).
+// Dispatch is round-robin over tenants with pending work, FIFO within a
+// tenant: a tenant flooding the queue cannot starve the others, because
+// each pass hands out at most one of its jobs.
+func (s *Server) next() *job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if s.closed {
+			return nil
+		}
+		if s.queued > 0 {
+			n := len(s.ring)
+			for i := 0; i < n; i++ {
+				t := s.ring[(s.rr+i)%n]
+				q := s.queues[t]
+				if len(q) == 0 {
+					continue
+				}
+				j := q[0]
+				q[0] = nil
+				s.queues[t] = q[1:]
+				s.rr = (s.rr + i + 1) % n
+				s.queued--
+				s.inflight++
+				return j
+			}
+		}
+		s.dispatch.Wait()
+	}
+}
+
+// reserve blocks until the job's footprint fits under the budget, then
+// charges it. A job whose submitter already gave up is discarded here
+// instead of waiting for memory it will never use.
+func (s *Server) reserve(j *job) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if err := j.ctx.Err(); err != nil {
+			return err
+		}
+		if s.closed {
+			return ErrDraining
+		}
+		if s.reserved+j.footprint <= s.cfg.MemoryBudget {
+			s.reserved += j.footprint
+			return nil
+		}
+		s.change.Wait()
+	}
+}
+
+func (s *Server) release(footprint int64) {
+	s.mu.Lock()
+	s.reserved -= footprint
+	s.change.Broadcast()
+	s.mu.Unlock()
+}
+
+// finish completes the job and publishes the outcome.
+func (s *Server) finish(j *job, resp *Response, err error) {
+	j.resp, j.err = resp, err
+	s.mu.Lock()
+	s.inflight--
+	tc := s.tenant(j.req.Tenant)
+	switch {
+	case err == nil:
+		tc.Completed++
+	default:
+		tc.Failed++
+	}
+	s.change.Broadcast()
+	s.mu.Unlock()
+	switch {
+	case err == nil:
+		s.completed.Add(1)
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		s.cancelled.Add(1)
+	default:
+		s.failed.Add(1)
+	}
+	close(j.done)
+}
+
+// runJob executes one admitted job: a fresh in-memory store, the shared
+// flags→options mapping, the canonical fills, and a per-job deadline.
+// Jobs with a kill schedule run the full recovery pipeline.
+func (s *Server) runJob(j *job) (*Response, error) {
+	ctx, cancel := context.WithTimeout(j.ctx, j.req.timeout(s.cfg.DefaultTimeout))
+	defer cancel()
+
+	rf := j.req.runFlags()
+	eopts, _, err := rf.Build(nil, false)
+	if err != nil {
+		return nil, err
+	}
+	eopts.Fill = cliutil.FillsFor(j.res)
+	var tracer *trace.Tracer
+	if j.req.Trace {
+		tracer = trace.NewTracer(j.res.Program.Procs)
+		eopts.Trace = tracer
+	}
+
+	resp := &Response{
+		JobID:           j.id,
+		Tenant:          j.req.Tenant,
+		Program:         j.res.Program.Name,
+		Strategy:        j.res.Program.Strategy,
+		PlanFingerprint: j.fingerprint,
+		CacheHit:        j.cacheHit,
+		Attempts:        1,
+	}
+	var out *exec.Result
+	if len(eopts.Kill) > 0 {
+		eopts.Detect = &mp.Detector{Heartbeat: 1e-3, Misses: 3}
+		rout, rerr := exec.RunResilientCtx(ctx, j.res.Program, j.mach, eopts, len(eopts.Kill))
+		if rerr != nil {
+			return nil, rerr
+		}
+		out = rout.Result
+		resp.Attempts = rout.Attempts
+		resp.Recoveries = len(rout.Recoveries)
+		tracer = rout.Trace
+	} else {
+		out, err = exec.RunCtx(ctx, j.res.Program, j.mach, eopts)
+		if err != nil {
+			return nil, err
+		}
+	}
+	resp.SimSeconds = out.Stats.ElapsedSeconds()
+	resp.Stats = out.Stats.Snapshot()
+	if j.req.Trace && tracer != nil {
+		var buf bytes.Buffer
+		if err := tracer.ExportChromeTrace(&buf); err != nil {
+			return nil, err
+		}
+		resp.Trace = buf.Bytes()
+	}
+	return resp, nil
+}
+
+// Metrics is the server's observable state.
+type Metrics struct {
+	Workers    int `json:"workers"`
+	QueueDepth int `json:"queue_depth"`
+	Inflight   int `json:"inflight"`
+
+	Submitted int64 `json:"submitted"`
+	Completed int64 `json:"completed"`
+	Failed    int64 `json:"failed"`
+	Cancelled int64 `json:"cancelled"`
+
+	RejectedOversize int64 `json:"rejected_oversize"`
+	RejectedBusy     int64 `json:"rejected_busy"`
+	RejectedDraining int64 `json:"rejected_draining"`
+
+	ReservedBytes int64 `json:"reserved_bytes"`
+	BudgetBytes   int64 `json:"budget_bytes"`
+
+	Cache   CacheStats                 `json:"cache"`
+	Tenants map[string]*tenantCounters `json:"tenants"`
+
+	Bufpool bufpool.Stats `json:"bufpool"`
+}
+
+// MetricsSnapshot captures the current metrics.
+func (s *Server) MetricsSnapshot() Metrics {
+	s.mu.Lock()
+	m := Metrics{
+		Workers:       s.cfg.Workers,
+		QueueDepth:    s.queued,
+		Inflight:      s.inflight,
+		ReservedBytes: s.reserved,
+		BudgetBytes:   s.cfg.MemoryBudget,
+		Tenants:       make(map[string]*tenantCounters, len(s.tenants)),
+	}
+	for t, c := range s.tenants {
+		cc := *c
+		m.Tenants[t] = &cc
+	}
+	s.mu.Unlock()
+	m.Submitted = s.submitted.Load()
+	m.Completed = s.completed.Load()
+	m.Failed = s.failed.Load()
+	m.Cancelled = s.cancelled.Load()
+	m.RejectedOversize = s.rejectedOversize.Load()
+	m.RejectedBusy = s.rejectedBusy.Load()
+	m.RejectedDraining = s.rejectedDraining.Load()
+	m.Cache = s.cache.stats()
+	m.Bufpool = bufpool.Snapshot()
+	return m
+}
+
+// Draining reports whether the server has stopped accepting jobs.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining || s.closed
+}
+
+// Drain stops accepting new jobs, waits until the queue and the worker
+// pool are empty (or ctx expires), then stops the workers. After Drain
+// the server serves no more jobs; metrics stay readable.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+
+	idle := make(chan struct{})
+	go func() {
+		s.mu.Lock()
+		for (s.queued > 0 || s.inflight > 0) && !s.closed {
+			s.change.Wait()
+		}
+		s.mu.Unlock()
+		close(idle)
+	}()
+	var err error
+	select {
+	case <-idle:
+	case <-ctx.Done():
+		err = ctx.Err()
+	}
+	s.Close()
+	return err
+}
+
+// Close stops the worker pool immediately: still-queued jobs fail with
+// ErrDraining and workers exit after their current job. Use Drain for a
+// graceful stop.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.draining = true
+	s.closed = true
+	var orphans []*job
+	for t, q := range s.queues {
+		orphans = append(orphans, q...)
+		s.queues[t] = nil
+	}
+	s.queued = 0
+	for _, j := range orphans {
+		s.tenant(j.req.Tenant).Rejected++
+	}
+	s.dispatch.Broadcast()
+	s.change.Broadcast()
+	s.mu.Unlock()
+	for _, j := range orphans {
+		j.err = ErrDraining
+		s.rejectedDraining.Add(1)
+		close(j.done)
+	}
+	s.wg.Wait()
+}
