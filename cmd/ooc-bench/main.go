@@ -20,6 +20,7 @@ import (
 	"github.com/ooc-hpf/passion/internal/cliutil"
 	"github.com/ooc-hpf/passion/internal/core"
 	"github.com/ooc-hpf/passion/internal/experiments"
+	"github.com/ooc-hpf/passion/internal/iosim"
 	"github.com/ooc-hpf/passion/internal/oocarray"
 	"github.com/ooc-hpf/passion/internal/serve"
 	"github.com/ooc-hpf/passion/internal/serve/loadtest"
@@ -51,6 +52,7 @@ func main() {
 		serveWorkers  = flag.Int("serve-workers", 4, "server worker pool size in -serve mode")
 		serveGate     = flag.Bool("serve-gate", false, "fail unless every job completed and the cache hit ratio clears -serve-hit-ratio")
 		serveHitRatio = flag.Float64("serve-hit-ratio", 0.9, "minimum cache hit ratio for -serve-gate")
+		serveJournal  = flag.String("serve-journal", "", "journal the served jobs: 'mem' for an in-memory store, else a directory path (empty disables)")
 	)
 	flag.Parse()
 
@@ -59,7 +61,7 @@ func main() {
 		return
 	}
 	if *serveMode {
-		runServe(*serveJobs, *serveConc, *serveTenants, *serveWorkers, *serveGate, *serveHitRatio)
+		runServe(*serveJobs, *serveConc, *serveTenants, *serveWorkers, *serveGate, *serveHitRatio, *serveJournal)
 		return
 	}
 
@@ -141,14 +143,34 @@ func runWallclock(kernels, out, baseline string, nsFactor float64) {
 
 // runServe starts an in-process ooc-serve, floods it with the loadtest
 // mix over HTTP, and prints the report; with gate on, a lost job or a
-// cold cache fails the run.
-func runServe(jobs, concurrency, tenants, workers int, gate bool, minHitRatio float64) {
-	s := serve.New(serve.Config{Workers: workers})
+// cold cache fails the run. A journal store makes every submission
+// durable and tags each job with an idempotency key, gating the
+// journaled write path under the same load.
+func runServe(jobs, concurrency, tenants, workers int, gate bool, minHitRatio float64, journal string) {
+	cfg := serve.Config{Workers: workers}
+	if journal != "" {
+		var jfs iosim.FS
+		if journal == "mem" {
+			jfs = iosim.NewMemFS()
+		} else {
+			osfs, err := iosim.NewOSFS(journal)
+			if err != nil {
+				fatal(err)
+			}
+			jfs = osfs
+		}
+		cfg.Journal = &serve.JournalConfig{FS: jfs}
+	}
+	s, err := serve.Open(cfg)
+	if err != nil {
+		fatal(err)
+	}
 	ts := httptest.NewServer(s.Handler())
 	rep, err := loadtest.Run(ts.URL, loadtest.Config{
-		Jobs:        jobs,
-		Concurrency: concurrency,
-		Tenants:     tenants,
+		Jobs:            jobs,
+		Concurrency:     concurrency,
+		Tenants:         tenants,
+		IdempotencyKeys: journal != "",
 	})
 	ts.Close()
 	s.Close()

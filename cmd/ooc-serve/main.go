@@ -10,6 +10,13 @@
 // SIGINT/SIGTERM starts a graceful drain: /healthz flips to 503, new
 // submissions are rejected, in-flight and queued jobs finish (up to
 // -drain-timeout), then the process exits.
+//
+// With -journal DIR every accepted job is recorded in a write-ahead
+// journal under DIR before it runs. After a crash (kill -9, power
+// loss), restarting with the same -journal replays the journal: queued
+// jobs are re-admitted, checkpointed in-flight jobs resume from their
+// last durable checkpoint, and retried submissions carrying the same
+// idempotency_key deduplicate against retained outcomes.
 package main
 
 import (
@@ -23,6 +30,7 @@ import (
 	"syscall"
 	"time"
 
+	"github.com/ooc-hpf/passion/internal/iosim"
 	"github.com/ooc-hpf/passion/internal/serve"
 )
 
@@ -35,16 +43,33 @@ func main() {
 		budgetMB     = flag.Int64("mem-budget-mb", 1024, "host-memory budget for inflight jobs, in MiB")
 		timeout      = flag.Duration("timeout", time.Minute, "default per-job execution deadline")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful-drain deadline on SIGTERM")
+		journalDir   = flag.String("journal", "", "write-ahead journal directory (empty disables durability)")
 	)
 	flag.Parse()
 
-	s := serve.New(serve.Config{
+	cfg := serve.Config{
 		Workers:        *workers,
 		QueueLimit:     *queueLimit,
 		CacheEntries:   *cacheEntries,
 		MemoryBudget:   *budgetMB << 20,
 		DefaultTimeout: *timeout,
-	})
+	}
+	if *journalDir != "" {
+		jfs, err := iosim.NewOSFS(*journalDir)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Journal = &serve.JournalConfig{FS: jfs}
+	}
+	s, err := serve.Open(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	if *journalDir != "" {
+		j := s.MetricsSnapshot().Journal
+		fmt.Printf("ooc-serve: journal %s recovered (%d jobs replayed, %d resumed, %d truncated tail records)\n",
+			*journalDir, j.ReplayedJobs, j.ResumedJobs, j.TruncatedTails)
+	}
 	httpSrv := &http.Server{Addr: *addr, Handler: s.Handler()}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -88,6 +88,21 @@ type ckptICLA struct {
 	Data   string `json:"data"`
 }
 
+// ckptStats is one processor's statistics state at the instant the
+// checkpoint was taken (pre-commit-barrier). Restoring it — plus
+// replaying the commit barrier — puts a resumed rank's simulated clock
+// and counters exactly where the uninterrupted run's were, so the final
+// statistics of a resumed run are bitwise identical. Every float64
+// round-trips exactly through JSON (encoding/json emits the shortest
+// representation that parses back to the same bits).
+type ckptStats struct {
+	Clock          float64                   `json:"clock"`
+	Comm           trace.CommStats           `json:"comm"`
+	Flops          int64                     `json:"flops"`
+	ComputeSeconds float64                   `json:"compute_seconds"`
+	PerArray       map[string]*trace.IOStats `json:"per_array,omitempty"`
+}
+
 // ckptManifest is one processor's committed checkpoint record.
 type ckptManifest struct {
 	Epoch   int                  `json:"epoch"`
@@ -100,6 +115,9 @@ type ckptManifest struct {
 	// Arrays lists the mutated arrays whose snapshots accompany this
 	// manifest.
 	Arrays []string `json:"arrays"`
+	// Run snapshots the rank's clock and statistics at checkpoint time;
+	// Options.RestoreStats consumes it on resume.
+	Run *ckptStats `json:"run,omitempty"`
 }
 
 // floatsToB64 encodes float64s as base64 over little-endian bytes.
@@ -274,6 +292,7 @@ func (in *interp) doCheckpoint(nodeIdx, iter int) error {
 		Iter:    iter,
 		Counter: in.counter,
 		Arrays:  arrays,
+		Run:     in.snapshotStats(ckptStart),
 	}
 	if len(in.auto) > 0 {
 		man.Auto = make(map[string]bool, len(in.auto))
@@ -312,8 +331,34 @@ func (in *interp) doCheckpoint(nodeIdx, iter int) error {
 		tr.Emit(trace.Span{Kind: trace.KindCheckpoint, Start: ckptStart,
 			Dur: in.proc.Clock().Seconds() - ckptStart, N: int64(in.ckptEpoch)})
 	}
+	if in.ckptHook != nil && rank == 0 {
+		// The epoch is globally committed; let the harness observe (or
+		// crash at) this boundary.
+		in.ckptHook(in.ckptEpoch)
+	}
 	in.ckptEpoch++
 	return nil
+}
+
+// snapshotStats captures the rank's pre-barrier statistics for the
+// manifest. The per-array entries are value copies, so later mutation of
+// the live counters cannot leak into the committed record.
+func (in *interp) snapshotStats(clock float64) *ckptStats {
+	st := in.proc.Stats()
+	s := &ckptStats{
+		Clock:          clock,
+		Comm:           st.Comm,
+		Flops:          st.Flops,
+		ComputeSeconds: st.ComputeSeconds,
+	}
+	if len(in.perArray) > 0 {
+		s.PerArray = make(map[string]*trace.IOStats, len(in.perArray))
+		for name, io := range in.perArray {
+			cp := *io
+			s.PerArray[name] = &cp
+		}
+	}
+	return s
 }
 
 // restoreFromManifest rebuilds the interpreter's cross-boundary state and
@@ -365,6 +410,27 @@ func (in *interp) restoreFromManifest(m *ckptManifest) error {
 		in.staging[name] = &oocarray.ICLA{RowOff: c.RowOff, ColOff: c.ColOff, Rows: c.Rows, Cols: c.Cols, Data: data}
 	}
 	in.ckptEpoch = m.Epoch + 1
+	if in.restoreStats && m.Run != nil {
+		// Put the clock and counters exactly where the original run's
+		// were when this epoch's snapshot was taken (pre-commit-barrier);
+		// run() replays the barrier afterwards. The per-array sinks are
+		// already registered with the disks, so they must be overwritten
+		// in place, never replaced.
+		st := in.proc.Stats()
+		st.Comm = m.Run.Comm
+		st.Flops = m.Run.Flops
+		st.ComputeSeconds = m.Run.ComputeSeconds
+		for name, io := range m.Run.PerArray {
+			if dst := in.perArray[name]; dst != nil {
+				*dst = *io
+			} else {
+				cp := *io
+				in.perArray[name] = &cp
+			}
+		}
+		in.proc.Clock().SyncTo(m.Run.Clock)
+		in.statsRestored = true
+	}
 	return nil
 }
 

@@ -79,6 +79,18 @@ type Options struct {
 	// fail-stop operation count; probe runs use it to learn the op-index
 	// space a kill schedule can target.
 	OpCounts []int64
+	// RestoreStats makes Resume restore each rank's simulated clock and
+	// statistics counters from the checkpoint manifest and replay the
+	// commit barrier, so a resumed run's final statistics are bitwise
+	// identical to the uninterrupted run's. It changes nothing on fresh
+	// runs, and falls back to plain resume semantics for manifests that
+	// predate the stats snapshot.
+	RestoreStats bool
+	// CkptHook, when non-nil, runs on rank 0 immediately after each
+	// checkpoint epoch commits (post-barrier) with the committed epoch
+	// number. Chaos and test harnesses use it to crash, cancel or
+	// observe a run at a deterministic mid-run boundary.
+	CkptHook func(epoch int)
 }
 
 // mpOptions maps the execution options onto the message-passing
@@ -186,6 +198,13 @@ func RunCtx(ctx context.Context, p *plan.Program, mach sim.Config, opts Options)
 // the checksum store carries over. It returns ErrNoCheckpoint (wrapped)
 // when no complete checkpoint epoch exists.
 func Resume(p *plan.Program, mach sim.Config, opts Options) (*Result, error) {
+	return ResumeCtx(context.Background(), p, mach, opts)
+}
+
+// ResumeCtx is Resume under a context, with RunCtx's cancellation
+// semantics. The serving layer uses it to resume journaled jobs that
+// were RUNNING at crash time without losing per-job deadlines.
+func ResumeCtx(ctx context.Context, p *plan.Program, mach sim.Config, opts Options) (*Result, error) {
 	if opts.Checkpoint == nil {
 		return nil, fmt.Errorf("exec: Resume requires Options.Checkpoint")
 	}
@@ -196,7 +215,7 @@ func Resume(p *plan.Program, mach sim.Config, opts Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := run(context.Background(), p, mach, opts, manifests, nil)
+	res, err := run(ctx, p, mach, opts, manifests, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -301,6 +320,12 @@ func run(ctx context.Context, p *plan.Program, mach sim.Config, opts Options, re
 			if err := in.paritySync(); err != nil {
 				return err
 			}
+			if in.statsRestored {
+				// The restored state is pre-commit-barrier; replay the
+				// barrier so the clocks synchronize exactly as the
+				// original run's did at this epoch's commit.
+				proc.Barrier(ckptTag)
+			}
 		}
 		if err := in.runTop(p.Body, startNode, startIter); err != nil {
 			return err
@@ -388,9 +413,15 @@ type interp struct {
 	pstore  *parity.Store
 
 	// ckptSpec/ckptEpoch drive checkpointing; ckptSpec is nil when
-	// checkpointing is off.
-	ckptSpec  *CheckpointSpec
-	ckptEpoch int
+	// checkpointing is off. ckptHook observes committed epochs on rank 0;
+	// restoreStats requests exact clock/counter restoration on resume and
+	// statsRestored records that it actually happened (the manifest
+	// carried a stats snapshot).
+	ckptSpec      *CheckpointSpec
+	ckptEpoch     int
+	ckptHook      func(epoch int)
+	restoreStats  bool
+	statsRestored bool
 
 	arrays    map[string]*oocarray.Array
 	slabbings map[string]oocarray.Slabbing
@@ -428,25 +459,27 @@ type interp struct {
 // reconcilable statistics behind.
 func newInterp(ctx context.Context, p *plan.Program, proc *mp.Proc, fs iosim.FS, opts Options, pstore *parity.Store) *interp {
 	return &interp{
-		ctx:        ctx,
-		prog:       p,
-		proc:       proc,
-		phantom:    opts.Phantom,
-		fs:         fs,
-		res:        opts.Resilience,
-		pstore:     pstore,
-		ckptSpec:   opts.Checkpoint,
-		arrays:     make(map[string]*oocarray.Array),
-		slabbings:  make(map[string]oocarray.Slabbing),
-		vars:       make(map[string]int),
-		bufs:       make(map[string]*oocarray.ICLA),
-		vecs:       make(map[string][]float64),
-		staging:    make(map[string]*oocarray.ICLA),
-		auto:       make(map[string]bool),
-		autoIdx:    make(map[string]int),
-		readers:    make(map[*plan.ReadSlab]*oocarray.SlabReader),
-		readerNext: make(map[*plan.ReadSlab]int),
-		perArray:   make(map[string]*trace.IOStats),
+		ctx:          ctx,
+		prog:         p,
+		proc:         proc,
+		phantom:      opts.Phantom,
+		fs:           fs,
+		res:          opts.Resilience,
+		pstore:       pstore,
+		ckptSpec:     opts.Checkpoint,
+		ckptHook:     opts.CkptHook,
+		restoreStats: opts.RestoreStats,
+		arrays:       make(map[string]*oocarray.Array),
+		slabbings:    make(map[string]oocarray.Slabbing),
+		vars:         make(map[string]int),
+		bufs:         make(map[string]*oocarray.ICLA),
+		vecs:         make(map[string][]float64),
+		staging:      make(map[string]*oocarray.ICLA),
+		auto:         make(map[string]bool),
+		autoIdx:      make(map[string]int),
+		readers:      make(map[*plan.ReadSlab]*oocarray.SlabReader),
+		readerNext:   make(map[*plan.ReadSlab]int),
+		perArray:     make(map[string]*trace.IOStats),
 	}
 }
 
@@ -566,10 +599,13 @@ func (in *interp) close() {
 // when checkpointing is on. startIter only applies to the loop at
 // startNode (per-iteration cursors are recorded only for SumStore loops).
 func (in *interp) runTop(body []plan.Node, startNode, startIter int) error {
-	if in.ckptSpec != nil && startNode == 0 && startIter == 0 {
+	if in.ckptSpec != nil && startNode == 0 && startIter == 0 && !in.statsRestored {
 		// Commit an initial checkpoint at cursor (0,0) so even a program
 		// whose body is a single non-loop node (e.g. one Redistribute) has
-		// an epoch to resume from if it crashes mid-node.
+		// an epoch to resume from if it crashes mid-node. A stats-exact
+		// resume at cursor (0,0) skips the re-commit: the uninterrupted
+		// run checkpointed here exactly once, and an extra barrier would
+		// shift the restored clocks.
 		if err := in.doCheckpoint(0, 0); err != nil {
 			return err
 		}

@@ -221,6 +221,16 @@ func (c *ChaosFS) isLost(name string) bool {
 	return c.lost[name]
 }
 
+// Names enumerates the inner file system's files when it supports
+// enumeration (fault-free: listing a directory is metadata the chaos
+// model does not perturb). It returns nil otherwise.
+func (c *ChaosFS) Names() []string {
+	if n, ok := c.inner.(interface{ Names() []string }); ok {
+		return n.Names()
+	}
+	return nil
+}
+
 // Counts returns a snapshot of the injected-fault counters.
 func (c *ChaosFS) Counts() ChaosCounts {
 	c.mu.Lock()

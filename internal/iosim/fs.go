@@ -194,6 +194,24 @@ func (fs *OSFS) Remove(name string) error {
 	return os.Remove(fs.path(name))
 }
 
+// Names returns the names (relative to the root, slash-separated) of all
+// regular files currently in the file system, in unspecified order. The
+// serving layer's journal and work stores enumerate their segments and
+// leftover attempt files with it.
+func (fs *OSFS) Names() []string {
+	var names []string
+	filepath.WalkDir(fs.root, func(p string, d iofs.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return nil //nolint:nilerr // enumeration is best-effort
+		}
+		if rel, err := filepath.Rel(fs.root, p); err == nil {
+			names = append(names, filepath.ToSlash(rel))
+		}
+		return nil
+	})
+	return names
+}
+
 // ---------------------------------------------------------------------------
 // Element encoding
 

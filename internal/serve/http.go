@@ -6,13 +6,20 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
+	"time"
 )
 
 // Handler returns the server's HTTP API:
 //
 //	POST /jobs     submit a Request, block until done, stream the Response
 //	GET  /healthz  200 {"ok":true} while accepting, 503 while draining
+//	               or degraded
 //	GET  /metrics  the Metrics snapshot
+//
+// Retryable rejections (429 busy, 503 draining/degraded) carry a
+// Retry-After header and a retry_after_ms body field advising when to
+// try again; clients should back off at least that long, with a cap.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/jobs", s.handleJobs)
@@ -35,21 +42,30 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 	}
 	resp, err := s.Submit(r.Context(), req)
 	if err != nil {
-		httpError(w, statusFor(err), err)
+		status := statusFor(err)
+		if ra := retryAfter(err); ra > 0 {
+			w.Header().Set("Retry-After", strconv.Itoa(int((ra+time.Second-1)/time.Second)))
+			writeJSON(w, status, map[string]any{
+				"error":          err.Error(),
+				"retry_after_ms": ra.Milliseconds(),
+			})
+			return
+		}
+		httpError(w, status, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
 // statusFor maps submission outcomes to status codes: rejected for
-// capacity → 429 (retryable), draining → 503, compile and validation
-// errors → 400, deadline → 504, client gone → 499-style 408, execution
-// faults → 500.
+// capacity → 429 (retryable), draining or journal-degraded → 503,
+// compile and validation errors → 400, deadline → 504, client gone →
+// 499-style 408, simulated crash → 503, execution faults → 500.
 func statusFor(err error) int {
 	switch {
 	case errors.Is(err, ErrBusy), errors.Is(err, ErrOversize):
 		return http.StatusTooManyRequests
-	case errors.Is(err, ErrDraining):
+	case errors.Is(err, ErrDraining), errors.Is(err, ErrDegraded), errors.Is(err, ErrCrashed):
 		return http.StatusServiceUnavailable
 	case errors.Is(err, context.DeadlineExceeded):
 		return http.StatusGatewayTimeout
@@ -63,6 +79,22 @@ func statusFor(err error) int {
 	return http.StatusInternalServerError
 }
 
+// retryAfter is the server's backoff guidance for retryable rejections:
+// a full queue clears quickly (queue pressure), a drain may hand off to
+// a restarted process shortly, a degraded journal needs operator
+// attention. Zero means the error is not worth retrying as-is.
+func retryAfter(err error) time.Duration {
+	switch {
+	case errors.Is(err, ErrBusy):
+		return 10 * time.Millisecond
+	case errors.Is(err, ErrDegraded):
+		return 5 * time.Second
+	case errors.Is(err, ErrDraining), errors.Is(err, ErrCrashed):
+		return time.Second
+	}
+	return 0
+}
+
 // compileError marks request-side failures (bad source, bad machine
 // name) so the HTTP layer reports them as the client's fault.
 type compileError struct{ err error }
@@ -71,6 +103,10 @@ func (e *compileError) Error() string { return e.err.Error() }
 func (e *compileError) Unwrap() error { return e.err }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.Degraded() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"ok": false, "degraded": true})
+		return
+	}
 	if s.Draining() {
 		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"ok": false, "draining": true})
 		return

@@ -7,6 +7,8 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+
+	"github.com/ooc-hpf/passion/internal/iosim"
 )
 
 func postJob(t *testing.T, ts *httptest.Server, body string) (*http.Response, map[string]any) {
@@ -117,6 +119,12 @@ func TestHTTPHealthAndMetricsAcrossDrain(t *testing.T) {
 	if httpResp.StatusCode != http.StatusServiceUnavailable {
 		t.Errorf("submit while draining: %d, want 503 (%v)", httpResp.StatusCode, m)
 	}
+	if got := httpResp.Header.Get("Retry-After"); got != "1" {
+		t.Errorf("Retry-After while draining = %q, want \"1\"", got)
+	}
+	if ms, ok := m["retry_after_ms"].(float64); !ok || ms != 1000 {
+		t.Errorf("retry_after_ms while draining = %v, want 1000", m["retry_after_ms"])
+	}
 
 	// Metrics stay readable after the drain.
 	resp, err = http.Get(ts.URL + "/metrics")
@@ -130,5 +138,50 @@ func TestHTTPHealthAndMetricsAcrossDrain(t *testing.T) {
 	}
 	if metrics.RejectedDraining == 0 {
 		t.Error("draining rejection not counted")
+	}
+}
+
+// TestHTTPDegradedMode: a dead journal disk flips /healthz to 503 with
+// a degraded flag, and job submissions get the long Retry-After hint.
+func TestHTTPDegradedMode(t *testing.T) {
+	chaos := iosim.NewChaosFS(iosim.NewMemFS(), iosim.ChaosConfig{Schedule: []iosim.ScheduledFault{
+		{File: segName(1), Op: 5, Kind: iosim.KindPermanent},
+	}})
+	s, err := Open(Config{Workers: 1, Journal: &JournalConfig{FS: chaos, WorkFS: iosim.NewMemFS()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	if resp, m := postJob(t, ts, `{"n":32,"procs":4,"mem_elems":300}`); resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthy submit: %d (%v)", resp.StatusCode, m)
+	}
+	resp, m := postJob(t, ts, `{"n":32,"procs":4,"mem_elems":300,"tenant":"x"}`)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("submit on dead journal disk: %d, want 503 (%v)", resp.StatusCode, m)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "5" {
+		t.Errorf("degraded Retry-After = %q, want \"5\"", got)
+	}
+	if ms, _ := m["retry_after_ms"].(float64); ms != 5000 {
+		t.Errorf("degraded retry_after_ms = %v, want 5000", m["retry_after_ms"])
+	}
+
+	hresp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hresp.Body.Close()
+	if hresp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("healthz while degraded: %d, want 503", hresp.StatusCode)
+	}
+	var health map[string]any
+	if err := json.NewDecoder(hresp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	if health["degraded"] != true {
+		t.Errorf("healthz body = %v, want degraded:true", health)
 	}
 }

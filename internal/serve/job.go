@@ -63,6 +63,28 @@ type Request struct {
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
 	// Trace asks for a Chrome-trace-event timeline in the response.
 	Trace bool `json:"trace,omitempty"`
+
+	// IdempotencyKey makes retried submits safe across an ambiguous
+	// failure: on a journaled server, a key the server has already
+	// completed (or is still running) returns the original outcome with
+	// Deduplicated set instead of executing again. Keys of failed jobs
+	// are released, so a retry after a real failure runs fresh.
+	IdempotencyKey string `json:"idempotency_key,omitempty"`
+	// TenantWeight updates the submitting tenant's fair-share weight
+	// (zero leaves it alone; the default weight is 1). A tenant with
+	// weight w receives w shares per dispatch round.
+	TenantWeight int `json:"tenant_weight,omitempty"`
+}
+
+// resumable reports whether a crash-interrupted run of this spec can be
+// resumed from its exec checkpoints with bitwise-identical final
+// statistics. Fault-injection and tracing runs rerun from scratch
+// instead: their recovery attempts, chaos schedules and span buffers
+// are not part of the checkpointed state.
+func (r Request) resumable() bool {
+	return r.Checkpoint > 0 && !r.Parity && !r.Prefetch && !r.Phantom && !r.Trace &&
+		r.KillRank == "" && r.Chaos == 0 && r.ChaosCorrupt == 0 && r.ChaosDiskLoss == 0 &&
+		r.LoseDisk == ""
 }
 
 // withDefaults fills the zero-value fields with the CLI defaults, so a
@@ -179,6 +201,12 @@ type Response struct {
 	// for an undisturbed run).
 	Attempts   int `json:"attempts"`
 	Recoveries int `json:"recoveries"`
+	// Resumed reports that the run restarted from the exec checkpoints a
+	// previous server life committed; Deduplicated reports that the
+	// response is a replay of an earlier outcome under the same
+	// idempotency key rather than a fresh execution.
+	Resumed      bool `json:"resumed,omitempty"`
+	Deduplicated bool `json:"deduplicated,omitempty"`
 	// SimSeconds is the simulated execution time; Stats is the full
 	// statistics snapshot, bitwise identical to a direct exec.Run of
 	// the same job.

@@ -29,10 +29,14 @@ type Config struct {
 	// Mix is the set of request templates cycled over; nil takes
 	// DefaultMix.
 	Mix []serve.Request
-	// RetryBudget bounds per-job retries of 429 (capacity) rejections
-	// (default 100); admission pushback is expected under load and a
-	// retried job that eventually completes is a success.
+	// RetryBudget bounds per-job retries of 429 (capacity) and 503
+	// (draining/degraded) rejections (default 100); admission pushback is
+	// expected under load and a retried job that eventually completes is
+	// a success.
 	RetryBudget int
+	// IdempotencyKeys tags every submission with a per-job idempotency
+	// key so retries after ambiguous failures deduplicate server-side.
+	IdempotencyKeys bool
 }
 
 func (c Config) withDefaults() Config {
@@ -106,6 +110,9 @@ func Run(baseURL string, cfg Config) (*Report, error) {
 			for i := range jobs {
 				req := cfg.Mix[i%len(cfg.Mix)]
 				req.Tenant = fmt.Sprintf("tenant-%d", i%cfg.Tenants)
+				if cfg.IdempotencyKeys {
+					req.IdempotencyKey = fmt.Sprintf("load-%d", i)
+				}
 				status, err := submit(client, baseURL, req, cfg.RetryBudget, &retried)
 				if err != nil || status != http.StatusOK {
 					errs.Add(1)
@@ -136,8 +143,14 @@ func Run(baseURL string, cfg Config) (*Report, error) {
 	return rep, nil
 }
 
-// submit posts one job, retrying capacity rejections with linear
-// backoff. It returns the final status (0 on transport failure).
+// maxBackoff caps per-retry sleeps so a long server hint cannot stall a
+// submitter indefinitely; the retry budget, not the hint, bounds total
+// wait.
+const maxBackoff = 250 * time.Millisecond
+
+// submit posts one job, retrying 429/503 rejections with linear backoff
+// raised to the server's retry_after_ms hint (capped at maxBackoff). It
+// returns the final status (0 on transport failure).
 func submit(client *http.Client, baseURL string, req serve.Request, budget int, retried *atomic.Int64) (int, error) {
 	body, err := json.Marshal(req)
 	if err != nil {
@@ -148,14 +161,37 @@ func submit(client *http.Client, baseURL string, req serve.Request, budget int, 
 		if err != nil {
 			return 0, err
 		}
-		io.Copy(io.Discard, resp.Body)
-		resp.Body.Close()
-		if resp.StatusCode != http.StatusTooManyRequests || attempt >= budget {
+		hint := retryHint(resp)
+		retryable := resp.StatusCode == http.StatusTooManyRequests ||
+			resp.StatusCode == http.StatusServiceUnavailable
+		if !retryable || attempt >= budget {
 			return resp.StatusCode, nil
 		}
 		retried.Add(1)
-		time.Sleep(time.Duration(attempt+1) * time.Millisecond)
+		backoff := time.Duration(attempt+1) * time.Millisecond
+		if hint > backoff {
+			backoff = hint
+		}
+		if backoff > maxBackoff {
+			backoff = maxBackoff
+		}
+		time.Sleep(backoff)
 	}
+}
+
+// retryHint drains the response body and extracts the server's
+// retry_after_ms guidance, zero when absent.
+func retryHint(resp *http.Response) time.Duration {
+	defer resp.Body.Close()
+	var m struct {
+		RetryAfterMS int64 `json:"retry_after_ms"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		io.Copy(io.Discard, resp.Body)
+		return 0
+	}
+	io.Copy(io.Discard, resp.Body)
+	return time.Duration(m.RetryAfterMS) * time.Millisecond
 }
 
 func fetchMetrics(client *http.Client, baseURL string, rep *Report) error {

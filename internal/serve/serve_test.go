@@ -283,7 +283,7 @@ func TestFairShareDispatch(t *testing.T) {
 		return &job{id: id, req: Request{Tenant: tenant}, ctx: context.Background(), done: make(chan struct{})}
 	}
 	for _, j := range []*job{mk("a", "a1"), mk("a", "a2"), mk("a", "a3"), mk("b", "b1")} {
-		if err := s.enqueue(j); err != nil {
+		if _, _, err := s.enqueue(j); err != nil {
 			t.Fatal(err)
 		}
 	}
