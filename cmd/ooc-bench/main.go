@@ -53,8 +53,14 @@ func main() {
 		serveGate     = flag.Bool("serve-gate", false, "fail unless every job completed and the cache hit ratio clears -serve-hit-ratio")
 		serveHitRatio = flag.Float64("serve-hit-ratio", 0.9, "minimum cache hit ratio for -serve-gate")
 		serveJournal  = flag.String("serve-journal", "", "journal the served jobs: 'mem' for an in-memory store, else a directory path (empty disables)")
+
+		version = flag.Bool("version", false, "print build information and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(cliutil.VersionLine("ooc-bench"))
+		return
+	}
 
 	if *wallclock {
 		runWallclock(*wallKernels, *wallOut, *wallBaseline, *wallNsFactor)

@@ -16,20 +16,26 @@ import (
 	"fmt"
 	"os"
 
+	"github.com/ooc-hpf/passion/internal/cliutil"
 	"github.com/ooc-hpf/passion/internal/compiler"
 	"github.com/ooc-hpf/passion/internal/hpf"
 )
 
 func main() {
 	var (
-		n      = flag.Int("n", 0, "override the problem size n (0 keeps the program's parameter)")
-		procs  = flag.Int("procs", 0, "override the processor count (0 keeps the program's parameter)")
-		mem    = flag.Int("mem", 1<<16, "node memory for slabs, in array elements")
-		policy = flag.String("policy", "weighted", "memory allocation policy: even, weighted, search")
-		force  = flag.String("force", "", "force a strategy: row-slab/column-slab, or direct/sieved/two-phase for transpose (default: cost model decides)")
-		sieve  = flag.Bool("sieve", false, "compile row-slab transfers to use data sieving")
+		n       = flag.Int("n", 0, "override the problem size n (0 keeps the program's parameter)")
+		procs   = flag.Int("procs", 0, "override the processor count (0 keeps the program's parameter)")
+		mem     = flag.Int("mem", 1<<16, "node memory for slabs, in array elements")
+		policy  = flag.String("policy", "weighted", "memory allocation policy: even, weighted, search")
+		force   = flag.String("force", "", "force a strategy: row-slab/column-slab, or direct/sieved/two-phase for transpose (default: cost model decides)")
+		sieve   = flag.Bool("sieve", false, "compile row-slab transfers to use data sieving")
+		version = flag.Bool("version", false, "print build information and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(cliutil.VersionLine("ooc-compile"))
+		return
+	}
 
 	src := hpf.GaxpySource
 	name := "builtin gaxpy (Figure 3)"

@@ -21,8 +21,13 @@ func main() {
 		ratioList = flag.String("ratios", "8,4,2,1", "comma-separated slab-ratio denominators")
 		sieve     = flag.Bool("sieve", false, "model row slabs with data sieving")
 		parity    = flag.Bool("parity", false, "also price the candidates with parity-protected output files")
+		version   = flag.Bool("version", false, "print build information and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(cliutil.VersionLine("ooc-costs"))
+		return
+	}
 
 	procs, err := cliutil.ParseInts(*procsList)
 	if err != nil {

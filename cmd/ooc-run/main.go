@@ -37,14 +37,20 @@ func main() {
 		timeline = flag.Bool("timeline", false, "print an ASCII timeline, phase attribution and critical path")
 		asJSON   = flag.Bool("json", false, "print the execution statistics as JSON")
 
-		traceOut  = flag.String("trace", "", "write a Chrome-trace-event (Perfetto) JSON timeline to this file")
-		statsJSON = flag.String("stats-json", "", "write the execution statistics snapshot as JSON to this file")
+		traceOut    = flag.String("trace", "", "write a Chrome-trace-event (Perfetto) JSON timeline to this file")
+		traceStream = flag.String("trace-stream", "", "write spans incrementally as NDJSON to this file while the run executes")
+		statsJSON   = flag.String("stats-json", "", "write the execution statistics snapshot as JSON to this file")
 
-		resume = flag.Bool("resume", false, "resume from the last checkpoint in -datadir instead of starting fresh")
+		resume  = flag.Bool("resume", false, "resume from the last checkpoint in -datadir instead of starting fresh")
+		version = flag.Bool("version", false, "print build information and exit")
 	)
 	var rf cliutil.RunFlags
 	rf.Register(nil)
 	flag.Parse()
+	if *version {
+		fmt.Println(cliutil.VersionLine("ooc-run"))
+		return
+	}
 
 	src := hpf.GaxpySource
 	if flag.NArg() > 0 {
@@ -83,8 +89,19 @@ func main() {
 	resil := eopts.Resilience
 	an := res.Analysis
 	var tracer *trace.Tracer
-	if *timeline || *traceOut != "" {
+	if *timeline || *traceOut != "" || *traceStream != "" {
 		tracer = trace.NewTracer(res.Program.Procs)
+	}
+	if *traceStream != "" {
+		f, err := os.Create(*traceStream)
+		if err != nil {
+			fatal(err)
+		}
+		// Blocking hand-off: the stream goes to a local file we own, so
+		// a lossless, exactly-reconciling stream beats shedding spans
+		// under burst. The file is an io.Closer, so CloseSink closes it
+		// after the trailer line.
+		tracer.SetSinkBlocking(trace.NewNDJSONSink(f), 0)
 	}
 	eopts.Fill = cliutil.FillsFor(res)
 	eopts.Trace = tracer
@@ -97,6 +114,9 @@ func main() {
 		rout, err = exec.RunResilient(res.Program, sim.Delta(res.Program.Procs), eopts, len(eopts.Kill))
 		if err == nil {
 			out = rout.Result
+			// The surviving attempt's tracer carries the spans (and the
+			// adopted stream sink); the pre-run tracer was never used.
+			tracer = rout.Trace
 			for i, rec := range rout.Recoveries {
 				fmt.Printf("recovery %d: lost rank(s) %v; rebuilt %d file(s) (%d blocks, %s) in %.4fs simulated; resumed from checkpoint\n",
 					i+1, rec.Failed, rec.RebuildIO.Reconstructions, rec.RebuildIO.ReconstructedBlocks,
@@ -116,8 +136,18 @@ func main() {
 		fmt.Printf("chaos: %d ops, injected %d transient, %d permanent, %d corruptions, %d short reads, %d short writes, %d disk losses\n",
 			c.Ops, c.Transient, c.Permanent, c.Corruptions, c.ShortReads, c.ShortWrites, c.DiskLosses)
 	}
+	if tracer != nil {
+		// Drain and finalize the NDJSON stream (trailer line with span
+		// and drop counts) whether the run succeeded or not.
+		if serr := tracer.CloseSink(); serr != nil && err == nil {
+			err = serr
+		}
+	}
 	if err != nil {
 		fatalChain(err)
+	}
+	if *traceStream != "" {
+		fmt.Printf("trace: streamed spans to %s (NDJSON)\n", *traceStream)
 	}
 	if resil != nil {
 		io := out.Stats.TotalIO()
@@ -179,6 +209,13 @@ func main() {
 			fatal(err)
 		}
 		fmt.Println(string(data))
+	}
+	if tracer != nil {
+		if d := tracer.Dropped(); d > 0 {
+			fmt.Printf("trace: WARNING: %d span(s) dropped; exports and streams are incomplete\n", d)
+		} else {
+			fmt.Printf("trace: %d spans, 0 dropped\n", len(tracer.Spans()))
+		}
 	}
 	fmt.Printf("simulated execution: %s\n", out.Stats)
 	for _, ps := range out.Stats.Procs {

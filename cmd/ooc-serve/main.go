@@ -24,12 +24,14 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"github.com/ooc-hpf/passion/internal/cliutil"
 	"github.com/ooc-hpf/passion/internal/iosim"
 	"github.com/ooc-hpf/passion/internal/serve"
 )
@@ -44,8 +46,21 @@ func main() {
 		timeout      = flag.Duration("timeout", time.Minute, "default per-job execution deadline")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "graceful-drain deadline on SIGTERM")
 		journalDir   = flag.String("journal", "", "write-ahead journal directory (empty disables durability)")
+		logFormat    = flag.String("log", "text", "structured job-log format: text or json")
+		logLevel     = flag.String("log-level", "info", "minimum structured-log level: debug, info, warn or error")
+		pprofOn      = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof")
+		version      = flag.Bool("version", false, "print build information and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(cliutil.VersionLine("ooc-serve"))
+		return
+	}
+
+	logger, err := buildLogger(*logFormat, *logLevel)
+	if err != nil {
+		fatal(err)
+	}
 
 	cfg := serve.Config{
 		Workers:        *workers,
@@ -53,6 +68,8 @@ func main() {
 		CacheEntries:   *cacheEntries,
 		MemoryBudget:   *budgetMB << 20,
 		DefaultTimeout: *timeout,
+		Logger:         logger,
+		Pprof:          *pprofOn,
 	}
 	if *journalDir != "" {
 		jfs, err := iosim.NewOSFS(*journalDir)
@@ -67,8 +84,9 @@ func main() {
 	}
 	if *journalDir != "" {
 		j := s.MetricsSnapshot().Journal
-		fmt.Printf("ooc-serve: journal %s recovered (%d jobs replayed, %d resumed, %d truncated tail records)\n",
-			*journalDir, j.ReplayedJobs, j.ResumedJobs, j.TruncatedTails)
+		logger.Info("journal recovered",
+			"dir", *journalDir, "replayed", j.ReplayedJobs,
+			"resumed", j.ResumedJobs, "truncated_tails", j.TruncatedTails)
 	}
 	httpSrv := &http.Server{Addr: *addr, Handler: s.Handler()}
 
@@ -95,6 +113,25 @@ func main() {
 		m.Completed, m.Failed, m.Cancelled, m.Cache.HitRatio)
 	if drainErr != nil {
 		fatal(fmt.Errorf("drain: %w", drainErr))
+	}
+}
+
+// buildLogger assembles the structured job logger from the -log and
+// -log-level flags. Logs go to stderr so the startup/drain lines on
+// stdout stay machine-greppable on their own.
+func buildLogger(format, level string) (*slog.Logger, error) {
+	var lv slog.Level
+	if err := lv.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("-log-level %q: %w", level, err)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	default:
+		return nil, fmt.Errorf("-log %q: want text or json", format)
 	}
 }
 

@@ -1,32 +1,53 @@
-// ooc-trace analyzes a Chrome-trace-event timeline written by
-// ooc-run -trace: it validates the JSON structure, reports per-phase
-// time attribution and the critical path through the run, and — given
-// the matching statistics snapshot from ooc-run -stats-json — verifies
-// that the spans reconcile exactly with the accounted statistics.
+// ooc-trace analyzes span timelines written by ooc-run: it validates
+// the structure, reports per-phase time attribution and the critical
+// path through the run, and — given the matching statistics snapshot
+// from ooc-run -stats-json — verifies that the spans reconcile exactly
+// with the accounted statistics. It reads both the buffered
+// Chrome-trace-event JSON (ooc-run -trace) and the streamed NDJSON form
+// (ooc-run -trace-stream), auto-detected.
+//
+// The tail subcommand follows a live span stream from ooc-serve,
+// rendering rolling phase and imbalance figures while the job runs.
 //
 // Usage:
 //
-//	ooc-trace [flags] trace.json
+//	ooc-trace [flags] trace.json|trace.ndjson
+//	ooc-trace tail [flags] http://host:port/jobs/<id>/trace
 package main
 
 import (
+	"bufio"
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
+	"strings"
 
+	"github.com/ooc-hpf/passion/internal/cliutil"
 	"github.com/ooc-hpf/passion/internal/trace"
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "tail" {
+		tailMain(os.Args[2:])
+		return
+	}
 	var (
 		reconcile = flag.String("reconcile", "", "stats snapshot JSON (from ooc-run -stats-json) to reconcile the spans against")
 		topK      = flag.Int("top", 5, "how many bottleneck contributors to list")
-		validate  = flag.Bool("validate", true, "check the trace-event JSON structure before analyzing")
+		validate  = flag.Bool("validate", true, "check the trace structure before analyzing")
+		version   = flag.Bool("version", false, "print build information and exit")
 	)
 	flag.Parse()
+	if *version {
+		fmt.Println(cliutil.VersionLine("ooc-trace"))
+		return
+	}
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: ooc-trace [flags] trace.json")
+		fmt.Fprintln(os.Stderr, "usage: ooc-trace [flags] trace.json|trace.ndjson")
+		fmt.Fprintln(os.Stderr, "       ooc-trace tail [flags] <url>/jobs/<id>/trace")
 		flag.PrintDefaults()
 		os.Exit(2)
 	}
@@ -34,15 +55,31 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	if *validate {
-		if err := trace.ValidateChromeTrace(data); err != nil {
-			fatal(err)
+
+	var (
+		spans   []trace.Span
+		procs   int
+		dropped int64
+	)
+	if isChromeTrace(data) {
+		if *validate {
+			if err := trace.ValidateChromeTrace(data); err != nil {
+				fatal(err)
+			}
+			fmt.Println("validate: well-formed Chrome trace-event JSON")
 		}
-		fmt.Println("validate: well-formed Chrome trace-event JSON")
+		spans, procs, dropped, err = trace.ParseChromeTraceInfo(data)
+	} else {
+		spans, procs, dropped, err = trace.ParseNDJSON(bytes.NewReader(data))
+		if err == nil && *validate {
+			fmt.Println("validate: well-formed NDJSON span stream")
+		}
 	}
-	spans, procs, err := trace.ParseChromeTrace(data)
 	if err != nil {
 		fatal(err)
+	}
+	if dropped > 0 {
+		fmt.Printf("WARNING: the trace records %d dropped span(s); it is incomplete\n", dropped)
 	}
 
 	elapsed := 0.0
@@ -52,6 +89,12 @@ func main() {
 		}
 	}
 	if *reconcile != "" {
+		// A trace with recorded drops cannot reconcile: spans are
+		// missing by construction. Fail loudly instead of reporting a
+		// misleading counter mismatch (or, worse, an accidental match).
+		if dropped > 0 {
+			fatal(fmt.Errorf("reconcile: refusing — the trace itself records %d dropped span(s), so the export is incomplete", dropped))
+		}
 		sdata, err := os.ReadFile(*reconcile)
 		if err != nil {
 			fatal(err)
@@ -72,6 +115,132 @@ func main() {
 	fmt.Print(trace.FormatPhaseReport(trace.PhaseReport(spans, procs, elapsed), elapsed))
 	segs, pathElapsed := trace.CriticalPath(spans, procs)
 	fmt.Print(trace.FormatCriticalPath(segs, pathElapsed, *topK))
+}
+
+// isChromeTrace sniffs the buffered export's envelope; anything else is
+// treated as an NDJSON stream.
+func isChromeTrace(data []byte) bool {
+	return bytes.HasPrefix(bytes.TrimSpace(data), []byte(`{"traceEvents"`))
+}
+
+// tailMain follows a live SSE span stream from ooc-serve, printing a
+// rolling phase/imbalance line as spans arrive and the full phase
+// report once the stream ends.
+func tailMain(args []string) {
+	fs := flag.NewFlagSet("tail", flag.ExitOnError)
+	every := fs.Int("every", 200, "refresh the rolling phase line every this many spans")
+	topK := fs.Int("top", 5, "how many bottleneck contributors to list at the end")
+	version := fs.Bool("version", false, "print build information and exit")
+	fs.Parse(args)
+	if *version {
+		fmt.Println(cliutil.VersionLine("ooc-trace"))
+		return
+	}
+	if fs.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: ooc-trace tail [flags] <url>/jobs/<id>/trace")
+		fs.PrintDefaults()
+		os.Exit(2)
+	}
+	url := fs.Arg(0)
+	if !strings.Contains(url, "follow=") {
+		if strings.Contains(url, "?") {
+			url += "&follow=1"
+		} else {
+			url += "?follow=1"
+		}
+	}
+	resp, err := http.Get(url)
+	if err != nil {
+		fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body := new(bytes.Buffer)
+		body.ReadFrom(resp.Body)
+		fatal(fmt.Errorf("GET %s: %s: %s", url, resp.Status, strings.TrimSpace(body.String())))
+	}
+
+	var (
+		spans   []trace.Span
+		procs   int
+		dropped int64
+		trailer *trace.StreamTrailer
+	)
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	ended := false
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "event: end" {
+			ended = true
+			continue
+		}
+		data, ok := strings.CutPrefix(line, "data: ")
+		if !ok || ended || strings.TrimSpace(data) == "" || data == "{}" {
+			continue
+		}
+		s, tr, perr := trace.UnmarshalSpanLine([]byte(data))
+		if perr != nil {
+			fatal(perr)
+		}
+		if tr != nil {
+			trailer = tr
+			dropped = tr.Dropped
+			continue
+		}
+		spans = append(spans, s)
+		if s.Rank+1 > procs {
+			procs = s.Rank + 1
+		}
+		if *every > 0 && len(spans)%*every == 0 {
+			fmt.Print(rollingLine(spans, procs))
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fatal(err)
+	}
+
+	elapsed := 0.0
+	for _, s := range spans {
+		if !s.Deferred && s.End() > elapsed {
+			elapsed = s.End()
+		}
+	}
+	fmt.Printf("tail: stream ended: %d spans over %d ranks, %.4fs simulated\n", len(spans), procs, elapsed)
+	if trailer != nil && trailer.Spans != int64(len(spans)) {
+		fatal(fmt.Errorf("tail: trailer says %d spans but the stream carried %d", trailer.Spans, len(spans)))
+	}
+	if dropped > 0 {
+		fmt.Printf("tail: WARNING: %d span(s) dropped on the producer side; the stream is incomplete\n", dropped)
+	}
+	fmt.Print(trace.FormatPhaseReport(trace.PhaseReport(spans, procs, elapsed), elapsed))
+	segs, pathElapsed := trace.CriticalPath(spans, procs)
+	fmt.Print(trace.FormatCriticalPath(segs, pathElapsed, *topK))
+}
+
+// rollingLine condenses the running phase attribution into one line:
+// span count, top phases by share, and the worst per-phase imbalance.
+func rollingLine(spans []trace.Span, procs int) string {
+	elapsed := 0.0
+	for _, s := range spans {
+		if !s.Deferred && s.End() > elapsed {
+			elapsed = s.End()
+		}
+	}
+	shares := trace.PhaseReport(spans, procs, elapsed)
+	var b strings.Builder
+	fmt.Fprintf(&b, "tail: %6d spans %9.3fs", len(spans), elapsed)
+	worst := 0.0
+	for i, sh := range shares {
+		if i < 3 {
+			fmt.Fprintf(&b, " | %s %.0f%%", sh.Phase, sh.Pct)
+		}
+		if sh.Imbalance > worst {
+			worst = sh.Imbalance
+		}
+	}
+	fmt.Fprintf(&b, " | imbalance %.2f\n", worst)
+	return b.String()
 }
 
 func fatal(err error) {

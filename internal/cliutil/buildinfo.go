@@ -1,0 +1,48 @@
+package cliutil
+
+import (
+	"fmt"
+	"runtime/debug"
+	"strings"
+)
+
+// Version renders the build's identity from the embedded module build
+// info: module version when released, else the VCS revision (with a
+// -dirty suffix for modified trees), else "devel". All six command-line
+// tools print it under -version, and ooc-serve reports it in /healthz.
+func Version() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "devel"
+	}
+	if v := bi.Main.Version; v != "" && v != "(devel)" {
+		return v
+	}
+	var rev, modified string
+	for _, kv := range bi.Settings {
+		switch kv.Key {
+		case "vcs.revision":
+			rev = kv.Value
+		case "vcs.modified":
+			if kv.Value == "true" {
+				modified = "-dirty"
+			}
+		}
+	}
+	if rev != "" {
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		return rev + modified
+	}
+	return "devel"
+}
+
+// VersionLine renders the standard "-version" output for tool name.
+func VersionLine(name string) string {
+	line := fmt.Sprintf("%s %s", name, Version())
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.GoVersion != "" {
+		line += " (" + strings.TrimSpace(bi.GoVersion) + ")"
+	}
+	return line
+}

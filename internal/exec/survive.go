@@ -84,7 +84,13 @@ func RunResilientCtx(ctx context.Context, p *plan.Program, mach sim.Config, opts
 	var manifests []*ckptManifest
 	for {
 		if traceOn {
+			// Fresh tracer per attempt, but one live stream for the whole
+			// job: the new tracer adopts the previous one's sink state (the
+			// caller's on attempt 1), so a streaming consumer sees every
+			// attempt's spans and the caller's CloseSink drains them all.
+			prev := opts.Trace
 			opts.Trace = trace.NewTracer(p.Procs)
+			opts.Trace.AdoptSink(prev)
 		}
 		rr.Attempts++
 		res, err := run(ctx, p, mach, opts, manifests, respawned)

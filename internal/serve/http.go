@@ -6,33 +6,53 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
+	"strings"
 	"time"
+
+	"github.com/ooc-hpf/passion/internal/cliutil"
 )
 
 // Handler returns the server's HTTP API:
 //
-//	POST /jobs     submit a Request, block until done, stream the Response
-//	GET  /healthz  200 {"ok":true} while accepting, 503 while draining
-//	               or degraded
-//	GET  /metrics  the Metrics snapshot
+//	POST /jobs             submit a Request, block until done, stream
+//	                       the Response
+//	GET  /jobs             list traced jobs with live or retained span
+//	                       streams
+//	GET  /jobs/{id}/trace  the job's NDJSON span stream; ?follow=1
+//	                       streams live over SSE
+//	GET  /healthz          200 {"ok":true,...} while accepting, 503
+//	                       while draining or degraded; carries build info
+//	GET  /metrics          the Metrics snapshot — JSON by default,
+//	                       Prometheus text exposition when the Accept
+//	                       header asks for text/plain (or with
+//	                       ?format=prometheus)
+//
+// With Config.Pprof, the net/http/pprof profiling surface is mounted
+// under /debug/pprof/.
 //
 // Retryable rejections (429 busy, 503 draining/degraded) carry a
 // Retry-After header and a retry_after_ms body field advising when to
 // try again; clients should back off at least that long, with a cap.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/jobs", s.handleJobs)
+	mux.HandleFunc("POST /jobs", s.handleJobs)
+	mux.HandleFunc("GET /jobs", s.handleJobList)
+	mux.HandleFunc("GET /jobs/{id}/trace", s.handleJobTrace)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
+	if s.cfg.Pprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 
 func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		httpError(w, http.StatusMethodNotAllowed, fmt.Errorf("POST only"))
-		return
-	}
 	var req Request
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
@@ -103,23 +123,44 @@ func (e *compileError) Error() string { return e.err.Error() }
 func (e *compileError) Unwrap() error { return e.err }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	version := cliutil.Version()
 	if s.Degraded() {
-		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"ok": false, "degraded": true})
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"ok": false, "degraded": true, "version": version})
 		return
 	}
 	if s.Draining() {
-		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"ok": false, "draining": true})
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"ok": false, "draining": true, "version": version})
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"ok": true})
+	writeJSON(w, http.StatusOK, map[string]any{"ok": true, "version": version})
 }
 
+// handleMetrics serves the metrics snapshot. JSON stays the default for
+// back-compat; a scraper asking for text/plain (or openmetrics) in
+// Accept — or forcing ?format=prometheus — gets the Prometheus text
+// exposition. Either way the payload is a point-in-time snapshot, so
+// caches must not hold it.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Cache-Control", "no-store")
+	if wantsPrometheus(r) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		w.WriteHeader(http.StatusOK)
+		s.WritePrometheus(w)
+		return
+	}
 	writeJSON(w, http.StatusOK, s.MetricsSnapshot())
 }
 
+func wantsPrometheus(r *http.Request) bool {
+	if r.URL.Query().Get("format") == "prometheus" {
+		return true
+	}
+	accept := r.Header.Get("Accept")
+	return strings.Contains(accept, "text/plain") || strings.Contains(accept, "openmetrics")
+}
+
 func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
 	w.WriteHeader(status)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

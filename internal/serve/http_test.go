@@ -80,12 +80,25 @@ func TestHTTPErrorMapping(t *testing.T) {
 		}
 	}
 
-	if resp, err := http.Get(ts.URL + "/jobs"); err != nil {
+	req, err := http.NewRequest(http.MethodPut, ts.URL+"/jobs", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp, err := http.DefaultClient.Do(req); err != nil {
 		t.Fatal(err)
 	} else {
 		resp.Body.Close()
 		if resp.StatusCode != http.StatusMethodNotAllowed {
-			t.Errorf("GET /jobs: status %d, want 405", resp.StatusCode)
+			t.Errorf("PUT /jobs: status %d, want 405", resp.StatusCode)
+		}
+	}
+	// GET /jobs is the stream listing, not a submit surface.
+	if resp, err := http.Get(ts.URL + "/jobs"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET /jobs listing: status %d, want 200", resp.StatusCode)
 		}
 	}
 }

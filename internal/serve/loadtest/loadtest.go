@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -85,6 +86,10 @@ type Report struct {
 	// the run.
 	CacheHitRatio float64       `json:"cache_hit_ratio"`
 	Metrics       serve.Metrics `json:"metrics"`
+	// PromScrapeBytes is the size of the Prometheus text exposition
+	// scraped mid-load. The scrape is strictly validated; a malformed
+	// exposition under concurrent load fails the run.
+	PromScrapeBytes int `json:"prom_scrape_bytes"`
 }
 
 // Run drives baseURL with cfg's load and collects the report. Errors
@@ -123,8 +128,18 @@ func Run(baseURL string, cfg Config) (*Report, error) {
 			}
 		}()
 	}
+	var (
+		promBytes int
+		promErr   error
+	)
 	for i := 0; i < cfg.Jobs; i++ {
 		jobs <- i
+		if i == cfg.Jobs/2 {
+			// Scrape the text exposition while submitters and workers are
+			// still hammering the counters: a torn or non-monotonic
+			// histogram under concurrency is exactly what this catches.
+			promBytes, promErr = scrapePrometheus(client, baseURL)
+		}
 	}
 	close(jobs)
 	wg.Wait()
@@ -137,10 +152,44 @@ func Run(baseURL string, cfg Config) (*Report, error) {
 		StatusCounts: statuses,
 	}
 	rep.Completed = statuses[http.StatusOK]
+	rep.PromScrapeBytes = promBytes
+	if promErr != nil {
+		return rep, fmt.Errorf("mid-load Prometheus scrape: %w", promErr)
+	}
 	if err := fetchMetrics(client, baseURL, rep); err != nil {
 		return rep, err
 	}
 	return rep, nil
+}
+
+// scrapePrometheus fetches /metrics in the Prometheus text exposition
+// and runs the strict format validator over it, returning the scrape
+// size.
+func scrapePrometheus(client *http.Client, baseURL string) (int, error) {
+	req, err := http.NewRequest(http.MethodGet, baseURL+"/metrics", nil)
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Accept", "text/plain")
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("GET /metrics: %s", resp.Status)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		return 0, fmt.Errorf("GET /metrics with Accept: text/plain answered Content-Type %q", ct)
+	}
+	if err := serve.ValidatePrometheus(body); err != nil {
+		return len(body), err
+	}
+	return len(body), nil
 }
 
 // maxBackoff caps per-retry sleeps so a long server hint cannot stall a

@@ -6,6 +6,8 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -108,6 +110,14 @@ type Config struct {
 	Journal *JournalConfig
 	// Crash injects a simulated process death (tests and chaos gates).
 	Crash *CrashSpec
+	// Logger receives the structured per-job log trail (submit,
+	// dispatch, resume, complete, journal events), each record carrying
+	// the job id / tenant / idempotency key / plan fingerprint / attempt
+	// correlation fields. Nil discards.
+	Logger *slog.Logger
+	// Pprof mounts net/http/pprof under /debug/pprof on the Handler.
+	// Off by default: the profiling surface is an operator opt-in.
+	Pprof bool
 }
 
 func (c Config) withDefaults() Config {
@@ -148,6 +158,11 @@ type job struct {
 	attempt  int
 	resume   bool
 	replayed bool
+
+	// submittedAt anchors the job-latency histogram; enqueuedAt the
+	// queue-wait histogram (reset on every re-queue).
+	submittedAt time.Time
+	enqueuedAt  time.Time
 
 	done chan struct{}
 	resp *Response
@@ -198,6 +213,19 @@ type Server struct {
 	crashN      atomic.Int64
 	degraded    atomic.Bool
 
+	log *slog.Logger
+
+	// Live span-stream registry (stream.go).
+	streamMu    sync.Mutex
+	streams     map[string]*jobStream
+	streamOrder []string
+
+	// Latency distributions for the Prometheus exposition (prom.go).
+	histJobLatency *promHist
+	histQueueWait  *promHist
+	histCompile    *promHist
+	histFootprint  *promHist
+
 	wg     sync.WaitGroup
 	jobSeq atomic.Int64
 
@@ -229,11 +257,19 @@ func New(cfg Config) *Server {
 // resumable), and retained idempotency outcomes answer retried submits.
 func Open(cfg Config) (*Server, error) {
 	s := &Server{
-		cfg:     cfg.withDefaults(),
-		queues:  make(map[string][]*job),
-		tenants: make(map[string]*tenantCounters),
-		keys:    make(map[string]*job),
-		weights: make(map[string]int),
+		cfg:            cfg.withDefaults(),
+		queues:         make(map[string][]*job),
+		tenants:        make(map[string]*tenantCounters),
+		keys:           make(map[string]*job),
+		weights:        make(map[string]int),
+		histJobLatency: newPromHist(latencyBuckets),
+		histQueueWait:  newPromHist(latencyBuckets),
+		histCompile:    newPromHist(compileBuckets),
+		histFootprint:  newPromHist(footprintBuckets),
+	}
+	s.log = s.cfg.Logger
+	if s.log == nil {
+		s.log = slog.New(slog.NewTextHandler(io.Discard, nil))
 	}
 	for t, w := range s.cfg.TenantWeights {
 		if w > 0 {
@@ -315,6 +351,8 @@ func (s *Server) replay() {
 		if _, ok := s.queues[t]; !ok && !contains(s.ring, t) {
 			s.ring = append(s.ring, t)
 		}
+		j.submittedAt = time.Now()
+		j.enqueuedAt = j.submittedAt
 		s.queues[t] = append(s.queues[t], j)
 		s.queued++
 		s.tenant(t).Submitted++
@@ -322,9 +360,15 @@ func (s *Server) replay() {
 		if j.key != "" {
 			s.keys[j.key] = j
 		}
+		s.log.Info("job replayed from journal",
+			"job", j.id, "tenant", t, "key", j.key,
+			"fingerprint", j.fingerprint, "attempt", j.attempt, "resume", j.resume)
 		replayed++
 	}
 	s.journal.addReplayed(replayed)
+	if replayed > 0 {
+		s.log.Info("journal replay complete", "jobs", replayed)
+	}
 	s.sweepWork(keep)
 }
 
@@ -374,6 +418,7 @@ func (s *Server) Submit(ctx context.Context, req Request) (*Response, error) {
 		s.reject(req.Tenant, err)
 		return nil, err
 	}
+	j.submittedAt = time.Now()
 	if s.journal != nil {
 		j.key = req.IdempotencyKey
 	}
@@ -381,6 +426,12 @@ func (s *Server) Submit(ctx context.Context, req Request) (*Response, error) {
 	if err != nil {
 		s.reject(req.Tenant, err)
 		return nil, err
+	}
+	if attached == nil && dedup == nil {
+		s.log.Info("job submitted",
+			"job", j.id, "tenant", j.req.Tenant, "key", j.key,
+			"fingerprint", j.fingerprint, "cache_hit", j.cacheHit,
+			"footprint", j.footprint)
 	}
 	if dedup != nil {
 		return dedup, nil
@@ -463,6 +514,7 @@ func (s *Server) build(ctx context.Context, req Request) (*job, error) {
 		src = hpf.GaxpySource
 	}
 	res, fp, hit, err := s.cache.getOrCompile(req.cacheKey(mach), func() (*compiler.Result, string, error) {
+		start := time.Now()
 		r, cerr := compiler.CompileSource(src, compiler.Options{
 			N: req.N, Procs: req.Procs, MemElems: req.MemElems,
 			Machine: mach, Force: req.Force, Sieve: req.Sieve,
@@ -471,6 +523,8 @@ func (s *Server) build(ctx context.Context, req Request) (*job, error) {
 		if cerr != nil {
 			return nil, "", &compileError{fmt.Errorf("serve: compile: %w", cerr)}
 		}
+		// Cache misses only: hits cost a map lookup, not a compile.
+		s.histCompile.observe(time.Since(start).Seconds())
 		return r, plan.Fingerprint(r.Program, fingerprintExtras(mach, req.MemElems)), nil
 	})
 	if err != nil {
@@ -539,6 +593,8 @@ func (s *Server) enqueue(j *job) (attached *job, dedup *Response, err error) {
 			Weight: j.req.TenantWeight, Spec: &j.req, Fingerprint: j.fingerprint}
 		if aerr := s.journal.append(rec); aerr != nil {
 			s.degraded.Store(true)
+			s.log.Error("journal degraded: submit record failed",
+				"job", j.id, "tenant", j.req.Tenant, "key", j.key, "error", aerr.Error())
 			s.unenqueue(j)
 			// Fail any submit that already attached to this key.
 			j.err = aerr
@@ -583,6 +639,7 @@ func (s *Server) enqueue(j *job) (attached *job, dedup *Response, err error) {
 	if _, ok := s.queues[t]; !ok && !contains(s.ring, t) {
 		s.ring = append(s.ring, t)
 	}
+	j.enqueuedAt = time.Now()
 	s.queues[t] = append(s.queues[t], j)
 	s.tenant(t).Submitted++
 	s.dispatch.Signal()
@@ -658,10 +715,14 @@ func (s *Server) worker() {
 		if j == nil {
 			return
 		}
+		if !j.enqueuedAt.IsZero() {
+			s.histQueueWait.observe(time.Since(j.enqueuedAt).Seconds())
+		}
 		if err := s.reserve(j); err != nil {
 			s.finish(j, nil, err)
 			continue
 		}
+		s.histFootprint.observe(float64(j.footprint))
 		if s.pickupGate != nil {
 			s.pickupGate(j)
 		}
@@ -681,6 +742,8 @@ func (s *Server) worker() {
 			rec := &walRec{Kind: recDispatch, Job: j.id, Attempt: j.attempt}
 			if aerr := s.journal.append(rec); aerr != nil && !s.isCrashed() {
 				s.degraded.Store(true)
+				s.log.Error("journal degraded: dispatch record failed",
+					"job", j.id, "attempt", j.attempt, "error", aerr.Error())
 			}
 			s.crashPoint(CrashDispatch)
 			if s.isCrashed() {
@@ -689,6 +752,10 @@ func (s *Server) worker() {
 				continue
 			}
 		}
+		s.log.Info("job dispatched",
+			"job", j.id, "tenant", j.req.Tenant, "key", j.key,
+			"fingerprint", j.fingerprint, "attempt", j.attempt,
+			"resume", j.resume, "footprint", j.footprint)
 		resp, err := s.runJob(j)
 		s.release(j.footprint)
 		s.finish(j, resp, err)
@@ -799,13 +866,31 @@ func (s *Server) finish(j *job, resp *Response, err error) {
 	}
 	s.change.Broadcast()
 	s.mu.Unlock()
+	outcome := "completed"
 	switch {
 	case err == nil:
 		s.completed.Add(1)
 	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		outcome = "cancelled"
 		s.cancelled.Add(1)
 	default:
+		outcome = "failed"
 		s.failed.Add(1)
+	}
+	if !j.submittedAt.IsZero() {
+		s.histJobLatency.observe(time.Since(j.submittedAt).Seconds())
+	}
+	attrs := []any{
+		"job", j.id, "tenant", j.req.Tenant, "key", j.key,
+		"fingerprint", j.fingerprint, "attempt", j.attempt, "outcome", outcome,
+	}
+	if err != nil {
+		s.log.Warn("job finished", append(attrs, "error", err.Error())...)
+	} else {
+		if resp != nil {
+			attrs = append(attrs, "sim_s", resp.SimSeconds, "attempts", resp.Attempts)
+		}
+		s.log.Info("job finished", attrs...)
 	}
 	close(j.done)
 }
@@ -835,6 +920,8 @@ func (s *Server) journalOutcome(j *job, resp *Response, err error) (*Response, e
 	if aerr := s.journal.append(rec); aerr != nil {
 		if !s.isCrashed() {
 			s.degraded.Store(true)
+			s.log.Error("journal degraded: completion record failed",
+				"job", j.id, "tenant", j.req.Tenant, "key", j.key, "error", aerr.Error())
 		}
 		return resp, err
 	}
@@ -887,6 +974,7 @@ func (s *Server) crashPoint(point string) {
 // running job's caller fails, and the worker pool unwinds. The journal
 // still holds everything a restarted server needs.
 func (s *Server) beginCrash() {
+	s.log.Warn("simulated process crash", "point", s.cfg.Crash.Point, "n", s.cfg.Crash.N)
 	if s.journal != nil {
 		s.journal.kill()
 	}
@@ -956,6 +1044,20 @@ func (s *Server) runJob(j *job) (*Response, error) {
 	if j.req.Trace {
 		tracer = trace.NewTracer(j.res.Program.Procs)
 		eopts.Trace = tracer
+		// Publish spans live: subscribers follow GET /jobs/{id}/trace
+		// while the job runs. CloseSink on exit drains the hand-off
+		// queue, appends the stream trailer and finishes the stream on
+		// every path — including failures, where followers still get a
+		// well-terminated stream. The recovery path below reassigns
+		// tracer to the last attempt's tracer, which shares the same
+		// sink state via AdoptSink.
+		st := s.openStream(j.id)
+		tracer.SetSink(&streamSink{st: st}, 0)
+		defer func() {
+			if cerr := tracer.CloseSink(); cerr != nil {
+				s.log.Warn("span stream close failed", "job", j.id, "error", cerr.Error())
+			}
+		}()
 	}
 
 	resp := &Response{
@@ -991,6 +1093,9 @@ func (s *Server) runJob(j *job) (*Response, error) {
 		} else if err == nil {
 			resp.Resumed = true
 			s.journal.addResumed(1)
+			s.log.Info("job resumed from checkpoint",
+				"job", j.id, "tenant", j.req.Tenant, "key", j.key,
+				"fingerprint", j.fingerprint, "attempt", j.attempt)
 		}
 		if err != nil {
 			return nil, err

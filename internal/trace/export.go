@@ -82,41 +82,25 @@ func spanEvent(s Span) jsonEvent {
 	return ev
 }
 
-// ExportChromeTrace writes the whole trace as one JSON object. Spans
-// are emitted rank by rank in emission order, so an imported trace
-// preserves the ordered float sums the reconciliation depends on.
+// ExportChromeTrace writes the whole trace as one JSON object by
+// replaying the buffered spans through a streaming ChromeSink — the
+// batch export and the live stream share one writer, so they cannot
+// drift apart. Spans are emitted rank by rank in emission order, so an
+// imported trace preserves the ordered float sums the reconciliation
+// depends on. The tracer's drop count is recorded in the dropped_spans
+// metadata event (ParseChromeTraceInfo surfaces it).
 func (t *Tracer) ExportChromeTrace(w io.Writer) error {
-	out := jsonTrace{TraceEvents: []jsonEvent{}}
-	for r := 0; r < t.Procs(); r++ {
-		out.TraceEvents = append(out.TraceEvents,
-			jsonEvent{Name: "process_name", Ph: "M", PID: r, Args: map[string]any{"name": fmt.Sprintf("rank %d", r)}},
-			jsonEvent{Name: "thread_name", Ph: "M", PID: r, TID: tidTimeline, Args: map[string]any{"name": "timeline"}},
-			jsonEvent{Name: "thread_name", Ph: "M", PID: r, TID: tidDeferred, Args: map[string]any{"name": "disk (overlapped)"}},
-		)
-	}
+	cs := NewChromeSink(w, t.Procs())
+	// Do not adopt w's Closer here: the batch exporter writes into a
+	// caller-owned destination.
+	cs.c = nil
 	for r := 0; r < t.Procs(); r++ {
 		for _, s := range t.RankSpans(r) {
-			out.TraceEvents = append(out.TraceEvents, spanEvent(s))
-			if s.Flow == 0 {
-				continue
-			}
-			id := fmt.Sprintf("%x", s.Flow)
-			switch s.Kind {
-			case KindSend:
-				out.TraceEvents = append(out.TraceEvents, jsonEvent{
-					Name: "shuffle", Cat: "flow", Ph: "s", ID: id,
-					TS: s.Start * 1e6, PID: s.Rank, TID: tidTimeline,
-				})
-			case KindWait:
-				out.TraceEvents = append(out.TraceEvents, jsonEvent{
-					Name: "shuffle", Cat: "flow", Ph: "f", BP: "e", ID: id,
-					TS: s.End() * 1e6, PID: s.Rank, TID: tidTimeline,
-				})
-			}
+			cs.Emit(s.Rank, s)
 		}
 	}
-	enc := json.NewEncoder(w)
-	return enc.Encode(out)
+	cs.ReportDropped(t.Dropped())
+	return cs.Close()
 }
 
 // ParseChromeTrace restores the spans of an exported trace, per rank in
@@ -124,13 +108,27 @@ func (t *Tracer) ExportChromeTrace(w io.Writer) error {
 // come from the exact args payload). It returns the spans and the rank
 // count.
 func ParseChromeTrace(data []byte) ([]Span, int, error) {
+	spans, procs, _, err := ParseChromeTraceInfo(data)
+	return spans, procs, err
+}
+
+// ParseChromeTraceInfo is ParseChromeTrace plus the trace's recorded
+// drop count, read from the dropped_spans metadata event the exporter
+// and ChromeSink write (zero when absent — e.g. a foreign trace).
+func ParseChromeTraceInfo(data []byte) (spans []Span, procs int, dropped int64, err error) {
 	var in jsonTrace
 	if err := json.Unmarshal(data, &in); err != nil {
-		return nil, 0, fmt.Errorf("trace: parse: %w", err)
+		return nil, 0, 0, fmt.Errorf("trace: parse: %w", err)
 	}
-	var spans []Span
-	procs := 0
 	for i, ev := range in.TraceEvents {
+		if ev.Ph == "M" && ev.Name == "dropped_spans" {
+			count, cerr := argFloat(ev.Args, "count")
+			if cerr != nil {
+				return nil, 0, 0, fmt.Errorf("trace: event %d: %w", i, cerr)
+			}
+			dropped = int64(count)
+			continue
+		}
 		if ev.PID+1 > procs {
 			procs = ev.PID + 1
 		}
@@ -142,36 +140,36 @@ func ParseChromeTrace(data []byte) ([]Span, int, error) {
 		}
 		kind, ok := KindFromString(ev.Cat)
 		if !ok {
-			return nil, 0, fmt.Errorf("trace: event %d: unknown span category %q", i, ev.Cat)
+			return nil, 0, 0, fmt.Errorf("trace: event %d: unknown span category %q", i, ev.Cat)
 		}
 		s := Span{Rank: ev.PID, Kind: kind}
 		var err error
 		if s.Label, err = argString(ev.Args, "label"); err != nil {
-			return nil, 0, fmt.Errorf("trace: event %d: %w", i, err)
+			return nil, 0, 0, fmt.Errorf("trace: event %d: %w", i, err)
 		}
 		if s.Start, err = argFloat(ev.Args, "start_s"); err != nil {
-			return nil, 0, fmt.Errorf("trace: event %d: %w", i, err)
+			return nil, 0, 0, fmt.Errorf("trace: event %d: %w", i, err)
 		}
 		if s.Dur, err = argFloat(ev.Args, "dur_s"); err != nil {
-			return nil, 0, fmt.Errorf("trace: event %d: %w", i, err)
+			return nil, 0, 0, fmt.Errorf("trace: event %d: %w", i, err)
 		}
 		s.Deferred = ev.TID == tidDeferred
 		peer, err := argFloat(ev.Args, "peer")
 		if err != nil {
-			return nil, 0, fmt.Errorf("trace: event %d: %w", i, err)
+			return nil, 0, 0, fmt.Errorf("trace: event %d: %w", i, err)
 		}
 		s.Peer = int(peer)
 		flow, err := argString(ev.Args, "flow")
 		if err != nil {
-			return nil, 0, fmt.Errorf("trace: event %d: %w", i, err)
+			return nil, 0, 0, fmt.Errorf("trace: event %d: %w", i, err)
 		}
 		if _, err := fmt.Sscanf(flow, "%x", &s.Flow); err != nil {
-			return nil, 0, fmt.Errorf("trace: event %d: bad flow id %q", i, flow)
+			return nil, 0, 0, fmt.Errorf("trace: event %d: bad flow id %q", i, flow)
 		}
 		for name, dst := range map[string]*int64{"n": &s.N, "m": &s.M, "bytes": &s.Bytes, "bytes2": &s.Bytes2} {
 			v, err := argFloat(ev.Args, name)
 			if err != nil {
-				return nil, 0, fmt.Errorf("trace: event %d: %w", i, err)
+				return nil, 0, 0, fmt.Errorf("trace: event %d: %w", i, err)
 			}
 			*dst = int64(v)
 		}
@@ -180,7 +178,7 @@ func ParseChromeTrace(data []byte) ([]Span, int, error) {
 	// The exporter writes ranks in order; a foreign but valid trace may
 	// interleave them, so restore the per-rank grouping stably.
 	sort.SliceStable(spans, func(i, j int) bool { return spans[i].Rank < spans[j].Rank })
-	return spans, procs, nil
+	return spans, procs, dropped, nil
 }
 
 func argString(args map[string]any, key string) (string, error) {

@@ -197,6 +197,12 @@ type Tracer struct {
 
 	mu    sync.Mutex
 	cross []Span
+
+	// sk, when non-nil, streams every emitted span to an attached Sink
+	// through a bounded hand-off queue (see SetSink). It is shared by
+	// reference across the per-attempt tracers of a recovery loop
+	// (AdoptSink), so one live stream spans all attempts.
+	sk *sinkState
 }
 
 // NewTracer returns an unbounded tracer for procs ranks.
@@ -223,14 +229,101 @@ func (t *Tracer) Procs() int {
 
 // Rank returns the per-rank emission handle. Safe on a nil Tracer or an
 // out-of-range rank (returns nil, which is itself safe to Emit on).
+// Call SetSink before handing out Rank handles: they capture the sink
+// hand-off at creation so the emission fast path stays branch-cheap.
 func (t *Tracer) Rank(r int) *RankTracer {
 	if t == nil || r < 0 || r >= len(t.ranks) {
 		return nil
 	}
-	return &RankTracer{t: t, buf: t.ranks[r], rank: r}
+	return &RankTracer{t: t, buf: t.ranks[r], rank: r, sk: t.sk}
 }
 
-// Dropped returns how many spans were overwritten across all ranks.
+// SetSink attaches a streaming consumer: every span recorded after this
+// call is also handed to sink, incrementally, from a single pump
+// goroutine. queue bounds the hand-off buffer between the emitting
+// ranks and the pump (default 4096 spans); when it is full the span is
+// dropped from the stream — never blocking the emitting rank or the
+// simulated clock — and counted in Dropped and SinkDropped. Call before
+// the run starts (before Rank handles are created) and pair with
+// CloseSink after the run's goroutines have finished. A nil Tracer or
+// nil sink is a no-op.
+func (t *Tracer) SetSink(sink Sink, queue int) {
+	t.setSink(sink, queue, false)
+}
+
+// SetSinkBlocking attaches a lossless streaming consumer: when the
+// hand-off queue fills, emitting ranks wait for the pump instead of
+// dropping. That can stall wall-clock progress behind a slow sink — the
+// simulated clock is never affected — so it fits local destinations the
+// producer owns (ooc-run -trace-stream writing its own file), where a
+// stream that reconciles exactly is worth the wait. Servers streaming
+// to remote subscribers should keep the non-blocking SetSink.
+func (t *Tracer) SetSinkBlocking(sink Sink, queue int) {
+	t.setSink(sink, queue, true)
+}
+
+func (t *Tracer) setSink(sink Sink, queue int, block bool) {
+	if t == nil || sink == nil {
+		return
+	}
+	if queue <= 0 {
+		queue = 4096
+	}
+	t.sk = &sinkState{
+		sink:  sink,
+		q:     make(chan Span, queue),
+		done:  make(chan struct{}),
+		fin:   make(chan struct{}),
+		block: block,
+	}
+	go t.sk.pump()
+}
+
+// AdoptSink moves src's live stream onto t: spans emitted through t now
+// feed the same sink, queue and pump. exec.RunResilient uses it to keep
+// one stream alive across the fresh tracer it builds per recovery
+// attempt. CloseSink on any adopting tracer closes the shared stream.
+func (t *Tracer) AdoptSink(src *Tracer) {
+	if t == nil || src == nil {
+		return
+	}
+	t.sk = src.sk
+}
+
+// CloseSink detaches the streaming sink: it stops accepting spans,
+// drains the hand-off queue, reports the final drop count to a
+// DropReporter sink, flushes and closes the sink. Safe to call on a
+// tracer without a sink (no-op, nil error) and idempotent across
+// tracers sharing one stream. Call only after the run's goroutines have
+// finished emitting.
+func (t *Tracer) CloseSink() error {
+	if t == nil || t.sk == nil {
+		return nil
+	}
+	sk := t.sk
+	if sk.closed.Swap(true) {
+		<-sk.fin
+		return sk.err
+	}
+	close(sk.q)
+	<-sk.done
+	if dr, ok := sk.sink.(DropReporter); ok {
+		dr.ReportDropped(t.Dropped())
+	}
+	ferr := sk.sink.Flush()
+	cerr := sk.sink.Close()
+	if ferr != nil {
+		sk.err = ferr
+	} else {
+		sk.err = cerr
+	}
+	close(sk.fin)
+	return sk.err
+}
+
+// Dropped returns how many spans were lost across all ranks: buffer
+// ring overwrites plus stream hand-off drops (SinkDropped). A nonzero
+// count voids the exactness of both the buffered export and the stream.
 func (t *Tracer) Dropped() int64 {
 	if t == nil {
 		return 0
@@ -239,7 +332,16 @@ func (t *Tracer) Dropped() int64 {
 	for _, b := range t.ranks {
 		n += b.dropped
 	}
-	return n
+	return n + t.SinkDropped()
+}
+
+// SinkDropped returns how many spans the streaming hand-off rejected
+// because the sink could not keep up (zero without a sink).
+func (t *Tracer) SinkDropped() int64 {
+	if t == nil || t.sk == nil {
+		return 0
+	}
+	return t.sk.dropped.Load()
 }
 
 // RankSpans returns one rank's spans in emission order, with any
@@ -283,16 +385,22 @@ type RankTracer struct {
 	t    *Tracer
 	buf  *rankBuf
 	rank int
+	sk   *sinkState
 }
 
 // Emit records one span on this rank. The span's Rank field is set by
-// the tracer.
+// the tracer. With a streaming sink attached the span is also offered
+// to the hand-off queue — a non-blocking send, so a slow sink costs
+// drops, never simulated time.
 func (rt *RankTracer) Emit(s Span) {
 	if rt == nil {
 		return
 	}
 	s.Rank = rt.rank
 	rt.buf.add(s)
+	if rt.sk != nil {
+		rt.sk.offer(s)
+	}
 }
 
 // Cross records a span attributed to another rank (e.g. recovery
@@ -306,6 +414,9 @@ func (rt *RankTracer) Cross(rank int, s Span) {
 	rt.t.mu.Lock()
 	rt.t.cross = append(rt.t.cross, s)
 	rt.t.mu.Unlock()
+	if rt.sk != nil {
+		rt.sk.offer(s)
+	}
 }
 
 // ---------------------------------------------------------------------------
