@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"os"
 
+	"github.com/ooc-hpf/passion/internal/bytecode"
 	"github.com/ooc-hpf/passion/internal/cliutil"
 	"github.com/ooc-hpf/passion/internal/compiler"
 	"github.com/ooc-hpf/passion/internal/hpf"
@@ -29,6 +30,7 @@ func main() {
 		policy  = flag.String("policy", "weighted", "memory allocation policy: even, weighted, search")
 		force   = flag.String("force", "", "force a strategy: row-slab/column-slab, or direct/sieved/two-phase for transpose (default: cost model decides)")
 		sieve   = flag.Bool("sieve", false, "compile row-slab transfers to use data sieving")
+		showBC  = flag.Bool("bytecode", false, "also lower the plan to its opcode stream and print the disassembly")
 		version = flag.Bool("version", false, "print build information and exit")
 	)
 	flag.Parse()
@@ -101,6 +103,16 @@ func main() {
 	fmt.Printf("  communication: %s\n\n", an.Comm)
 	fmt.Printf("out-of-core phase: candidate access reorganizations\n%s\n", res.Report)
 	fmt.Printf("selected node + MP + I/O program:\n\n%s", res.Program.String())
+
+	if *showBC {
+		bc, err := bytecode.Compile(res.Program)
+		if err != nil {
+			fatal(err)
+		}
+		enc := bytecode.Encode(bc)
+		fmt.Printf("\nbytecode (%d instructions, %d bytes encoded):\n\n%s",
+			len(bc.Code), len(enc), bc.Disassemble())
+	}
 }
 
 func fatal(err error) {

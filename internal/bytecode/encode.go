@@ -1,0 +1,293 @@
+package bytecode
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+
+	"github.com/ooc-hpf/passion/internal/dist"
+	"github.com/ooc-hpf/passion/internal/oocarray"
+	"github.com/ooc-hpf/passion/internal/plan"
+)
+
+// Magic frames every encoded bytecode program (8 bytes).
+const Magic = "OOCBC01\n"
+
+// Typed decode failures. Decode wraps each with position detail; callers
+// dispatch with errors.Is. A byte stream, whatever its contents, produces
+// one of these or a valid Program — never a panic.
+var (
+	// ErrBadMagic: the stream does not start with the bytecode magic.
+	ErrBadMagic = errors.New("bytecode: bad magic")
+	// ErrVersion: the stream's encoding version is not this package's.
+	ErrVersion = errors.New("bytecode: unsupported version")
+	// ErrTruncated: the stream ends before its declared contents do.
+	ErrTruncated = errors.New("bytecode: truncated stream")
+	// ErrChecksum: the payload does not match its frame checksum.
+	ErrChecksum = errors.New("bytecode: payload checksum mismatch")
+	// ErrMalformed: the payload decodes but violates the program's
+	// structural invariants (also returned by Validate).
+	ErrMalformed = errors.New("bytecode: malformed program")
+)
+
+// Encode serializes the program: magic, version, payload length, payload
+// CRC32 (IEEE), payload, all big-endian. The payload has no maps and no
+// varints — every field is emitted in declaration order at a fixed width —
+// so encoding is deterministic: Encode(Decode(b)) reproduces b byte for
+// byte, and equal programs encode equally.
+func Encode(p *Program) []byte {
+	var w encBuf
+	w.str(p.Name)
+	w.u64(uint64(p.N))
+	w.u64(uint64(p.Procs))
+	w.str(p.Strategy)
+	w.str(p.Fingerprint)
+	w.u32(uint32(len(p.Arrays)))
+	for _, a := range p.Arrays {
+		w.str(a.Name)
+		w.u64(uint64(a.Rows))
+		w.u64(uint64(a.Cols))
+		w.u32(uint32(a.RowScheme))
+		w.u32(uint32(a.ColScheme))
+		w.u32(uint32(a.Role))
+		w.u32(uint32(len(a.Grid)))
+		for _, g := range a.Grid {
+			w.u64(uint64(g))
+		}
+		w.u64(uint64(a.SlabElems))
+		w.u32(uint32(a.SlabDim))
+	}
+	w.strs(p.VarNames)
+	w.strs(p.BufNames)
+	w.strs(p.VecNames)
+	w.strs(p.Labels)
+	w.u32(uint32(len(p.Exprs)))
+	for _, code := range p.Exprs {
+		w.u32(uint32(len(code)))
+		for _, ins := range code {
+			w.buf = append(w.buf, byte(ins.Op))
+			w.i32(ins.A)
+			w.i32(ins.B)
+			w.u64(math.Float64bits(ins.Val))
+		}
+	}
+	w.u32(uint32(len(p.Code)))
+	for _, ins := range p.Code {
+		w.buf = append(w.buf, byte(ins.Op))
+		for _, v := range [...]int32{ins.A, ins.B, ins.C, ins.D, ins.E, ins.F, ins.G, ins.H} {
+			w.i32(v)
+		}
+	}
+	w.u32(uint32(len(p.NodePC)))
+	for _, pc := range p.NodePC {
+		w.i32(pc)
+	}
+	w.u32(uint32(p.Readers))
+
+	frame := make([]byte, 0, len(Magic)+12+len(w.buf))
+	frame = append(frame, Magic...)
+	frame = binary.BigEndian.AppendUint32(frame, Version)
+	frame = binary.BigEndian.AppendUint32(frame, uint32(len(w.buf)))
+	frame = binary.BigEndian.AppendUint32(frame, crc32.ChecksumIEEE(w.buf))
+	return append(frame, w.buf...)
+}
+
+type encBuf struct{ buf []byte }
+
+func (w *encBuf) u32(v uint32) { w.buf = binary.BigEndian.AppendUint32(w.buf, v) }
+func (w *encBuf) u64(v uint64) { w.buf = binary.BigEndian.AppendUint64(w.buf, v) }
+func (w *encBuf) i32(v int32)  { w.u32(uint32(v)) }
+func (w *encBuf) str(s string) {
+	w.u32(uint32(len(s)))
+	w.buf = append(w.buf, s...)
+}
+func (w *encBuf) strs(s []string) {
+	w.u32(uint32(len(s)))
+	for _, x := range s {
+		w.str(x)
+	}
+}
+
+// Decode parses an encoded program, verifying the frame (magic, version,
+// length, checksum) and then the structure (Validate). Every length read
+// from the stream is checked against the bytes actually remaining before
+// any allocation is sized by it, so corrupt or adversarial streams fail
+// with a typed error instead of a panic or a huge allocation.
+func Decode(b []byte) (*Program, error) {
+	if len(b) < len(Magic) {
+		return nil, fmt.Errorf("%w: %d bytes is shorter than the magic", ErrTruncated, len(b))
+	}
+	if string(b[:len(Magic)]) != Magic {
+		return nil, ErrBadMagic
+	}
+	if len(b) < len(Magic)+12 {
+		return nil, fmt.Errorf("%w: %d bytes is shorter than the frame header", ErrTruncated, len(b))
+	}
+	if v := binary.BigEndian.Uint32(b[len(Magic):]); v != Version {
+		return nil, fmt.Errorf("%w: stream version %d, this build reads %d", ErrVersion, v, Version)
+	}
+	plen := binary.BigEndian.Uint32(b[len(Magic)+4:])
+	want := binary.BigEndian.Uint32(b[len(Magic)+8:])
+	payload := b[len(Magic)+12:]
+	if uint64(len(payload)) < uint64(plen) {
+		return nil, fmt.Errorf("%w: payload declares %d bytes, %d present", ErrTruncated, plen, len(payload))
+	}
+	if uint64(len(payload)) > uint64(plen) {
+		return nil, fmt.Errorf("%w: %d bytes trail the declared payload", ErrMalformed, len(payload)-int(plen))
+	}
+	if crc32.ChecksumIEEE(payload) != want {
+		return nil, ErrChecksum
+	}
+	r := &decBuf{buf: payload}
+	p := &Program{}
+	p.Name = r.str("name")
+	p.N = int(r.u64("n"))
+	p.Procs = int(r.u64("procs"))
+	p.Strategy = r.str("strategy")
+	p.Fingerprint = r.str("fingerprint")
+	for range r.count("array table", arrayEncMin) {
+		var a plan.ArraySpec
+		a.Name = r.str("array name")
+		a.Rows = int(r.u64("array rows"))
+		a.Cols = int(r.u64("array cols"))
+		a.RowScheme = dist.Scheme(r.u32("array row scheme"))
+		a.ColScheme = dist.Scheme(r.u32("array col scheme"))
+		a.Role = plan.Role(r.u32("array role"))
+		for range r.count("array grid", 8) {
+			a.Grid = append(a.Grid, int(r.u64("array grid extent")))
+		}
+		a.SlabElems = int(r.u64("array slab elems"))
+		a.SlabDim = oocarray.Dim(r.u32("array slab dim"))
+		p.Arrays = append(p.Arrays, a)
+	}
+	p.VarNames = r.strs("variable names")
+	p.BufNames = r.strs("buffer names")
+	p.VecNames = r.strs("vector names")
+	p.Labels = r.strs("node labels")
+	for range r.count("expression table", 4) {
+		var code []ExprInstr
+		for range r.count("expression program", exprInstrEnc) {
+			var ins ExprInstr
+			ins.Op = ExprOp(r.u8("expression opcode"))
+			ins.A = r.i32("expression operand")
+			ins.B = r.i32("expression operand")
+			ins.Val = math.Float64frombits(r.u64("expression constant"))
+			code = append(code, ins)
+		}
+		p.Exprs = append(p.Exprs, code)
+	}
+	for range r.count("code stream", instrEnc) {
+		var ins Instr
+		ins.Op = Op(r.u8("opcode"))
+		for _, v := range [...]*int32{&ins.A, &ins.B, &ins.C, &ins.D, &ins.E, &ins.F, &ins.G, &ins.H} {
+			*v = r.i32("operand")
+		}
+		p.Code = append(p.Code, ins)
+	}
+	for range r.count("node jump table", 4) {
+		p.NodePC = append(p.NodePC, r.i32("node pc"))
+	}
+	p.Readers = int(r.u32("reader count"))
+	if r.err != nil {
+		return nil, r.err
+	}
+	if len(r.buf) != 0 {
+		return nil, fmt.Errorf("%w: %d undecoded payload bytes", ErrMalformed, len(r.buf))
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// Encoded sizes of the fixed-width records, used to bound declared counts
+// by the bytes remaining.
+const (
+	instrEnc     = 1 + 8*4
+	exprInstrEnc = 1 + 2*4 + 8
+	// arrayEncMin is the smallest possible array record.
+	arrayEncMin = 4 + 8 + 8 + 4 + 4 + 4 + 4 + 8 + 4
+)
+
+// decBuf is a cursor over the payload. The first failed read latches err
+// and every later read returns zero values, so decoding code reads
+// straight-line and checks once.
+type decBuf struct {
+	buf []byte
+	err error
+}
+
+func (r *decBuf) fail(what string, need int) {
+	if r.err == nil {
+		r.err = fmt.Errorf("%w: %s needs %d bytes, %d remain", ErrTruncated, what, need, len(r.buf))
+	}
+}
+
+func (r *decBuf) take(what string, n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if len(r.buf) < n {
+		r.fail(what, n)
+		return nil
+	}
+	b := r.buf[:n]
+	r.buf = r.buf[n:]
+	return b
+}
+
+func (r *decBuf) u8(what string) uint8 {
+	b := r.take(what, 1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (r *decBuf) u32(what string) uint32 {
+	b := r.take(what, 4)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(b)
+}
+
+func (r *decBuf) u64(what string) uint64 {
+	b := r.take(what, 8)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint64(b)
+}
+
+func (r *decBuf) i32(what string) int32 { return int32(r.u32(what)) }
+
+// count reads a list length and bounds it by the bytes remaining (at
+// minSize bytes per element), so a corrupted length cannot drive a huge
+// allocation or a long spin.
+func (r *decBuf) count(what string, minSize int) int {
+	n := r.u32(what + " length")
+	if r.err != nil {
+		return 0
+	}
+	if uint64(n)*uint64(minSize) > uint64(len(r.buf)) {
+		r.fail(what, int(n) * minSize)
+		return 0
+	}
+	return int(n)
+}
+
+func (r *decBuf) str(what string) string {
+	n := r.count(what, 1)
+	return string(r.take(what, n))
+}
+
+func (r *decBuf) strs(what string) []string {
+	var out []string
+	for range r.count(what, 4) {
+		out = append(out, r.str(what))
+	}
+	return out
+}

@@ -1,0 +1,280 @@
+package bytecode_test
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"github.com/ooc-hpf/passion/internal/bytecode"
+	"github.com/ooc-hpf/passion/internal/compiler"
+	"github.com/ooc-hpf/passion/internal/hpf"
+	"github.com/ooc-hpf/passion/internal/plan"
+)
+
+// corpus compiles every program shape the repository knows — the built-in
+// kernels plus the testdata .hpf corpus — into plans, covering every
+// opcode the lowering can emit (SumStore loops, redistribution, shifted
+// and aligned FORALLs, streaming reads, auto-staging).
+func corpus(t *testing.T) map[string]*plan.Program {
+	t.Helper()
+	out := map[string]*plan.Program{}
+	add := func(name, src string, opts compiler.Options) {
+		res, err := compiler.CompileSource(src, opts)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		out[name] = res.Program
+	}
+	add("gaxpy/row-slab", hpf.GaxpySource, compiler.Options{N: 32, Procs: 4, MemElems: 300, Force: "row-slab"})
+	add("gaxpy/column-slab", hpf.GaxpySource, compiler.Options{N: 32, Procs: 4, MemElems: 300, Force: "column-slab"})
+	add("gaxpy/sieve", hpf.GaxpySource, compiler.Options{N: 64, Procs: 4, MemElems: 700, Sieve: true})
+	add("transpose/direct", hpf.TransposeSource, compiler.Options{N: 64, Procs: 4, MemElems: 16 * 64, Force: "direct"})
+	add("transpose/two-phase", hpf.TransposeSource, compiler.Options{N: 64, Procs: 4, MemElems: 16 * 64, Force: "two-phase"})
+	add("ewise", hpf.EwiseSource, compiler.Options{N: 64, Procs: 4, MemElems: 64 * 8})
+	files, err := filepath.Glob("../../testdata/*.hpf")
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no testdata corpus: %v", err)
+	}
+	for _, f := range files {
+		src, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		add("testdata/"+filepath.Base(f), string(src), compiler.Options{MemElems: 1 << 14})
+	}
+	return out
+}
+
+// TestGoldenRoundTrip pins the serialization contract: encode → decode →
+// re-encode is byte-identical, the decoded program is structurally equal
+// to the compiled one, and lowering preserves the plan fingerprint — so
+// a cache keyed on plan.Fingerprint can persist either form.
+func TestGoldenRoundTrip(t *testing.T) {
+	for name, p := range corpus(t) {
+		t.Run(name, func(t *testing.T) {
+			bc, err := bytecode.Compile(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := plan.Fingerprint(p, nil); bc.Fingerprint != want {
+				t.Fatalf("lowering changed the fingerprint: %s vs %s", bc.Fingerprint, want)
+			}
+			enc := bytecode.Encode(bc)
+			dec, err := bytecode.Decode(enc)
+			if err != nil {
+				t.Fatalf("decode of a fresh encode: %v", err)
+			}
+			if !reflect.DeepEqual(bc, dec) {
+				t.Fatal("decoded program differs structurally from the compiled one")
+			}
+			enc2 := bytecode.Encode(dec)
+			if !bytes.Equal(enc, enc2) {
+				t.Fatal("re-encode is not byte-identical")
+			}
+			if err := dec.Validate(); err != nil {
+				t.Fatalf("decoded program fails validation: %v", err)
+			}
+		})
+	}
+}
+
+// TestDisassembleCoversCode smoke-checks the disassembly: one line per
+// instruction, symbolic operand names resolved from the tables.
+func TestDisassembleCoversCode(t *testing.T) {
+	for name, p := range corpus(t) {
+		t.Run(name, func(t *testing.T) {
+			bc, err := bytecode.Compile(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			d := bc.Disassemble()
+			for _, ins := range bc.Code {
+				if !strings.Contains(d, ins.Op.String()) {
+					t.Fatalf("disassembly missing opcode %s:\n%s", ins.Op, d)
+				}
+			}
+			if !strings.Contains(d, bc.Fingerprint) {
+				t.Error("disassembly missing the fingerprint header")
+			}
+		})
+	}
+}
+
+// typedDecodeErr reports whether err is one of the package's declared
+// decode failures — the contract is that Decode returns nothing else.
+func typedDecodeErr(err error) bool {
+	for _, want := range []error{
+		bytecode.ErrBadMagic, bytecode.ErrVersion, bytecode.ErrTruncated,
+		bytecode.ErrChecksum, bytecode.ErrMalformed,
+	} {
+		if errors.Is(err, want) {
+			return true
+		}
+	}
+	return false
+}
+
+func encodedGaxpy(t *testing.T) []byte {
+	t.Helper()
+	res, err := compiler.CompileSource(hpf.GaxpySource, compiler.Options{N: 32, Procs: 4, MemElems: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bc, err := bytecode.Compile(res.Program)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bytecode.Encode(bc)
+}
+
+// TestDecodeRejectsTruncation cuts the stream at every length: each
+// prefix must fail with a typed error, never panic, never succeed.
+func TestDecodeRejectsTruncation(t *testing.T) {
+	enc := encodedGaxpy(t)
+	for i := 0; i < len(enc); i++ {
+		if _, err := bytecode.Decode(enc[:i]); err == nil {
+			t.Fatalf("truncation to %d/%d bytes decoded successfully", i, len(enc))
+		} else if !typedDecodeErr(err) {
+			t.Fatalf("truncation to %d bytes: untyped error %v", i, err)
+		}
+	}
+}
+
+// TestDecodeRejectsBitFlips flips one bit in every byte of the frame.
+// Header flips must produce magic/version/length/checksum errors; payload
+// flips are caught by the CRC. No flip may panic or decode.
+func TestDecodeRejectsBitFlips(t *testing.T) {
+	enc := encodedGaxpy(t)
+	for i := range enc {
+		for bit := 0; bit < 8; bit++ {
+			mut := bytes.Clone(enc)
+			mut[i] ^= 1 << bit
+			if _, err := bytecode.Decode(mut); err == nil {
+				t.Fatalf("bit flip at byte %d bit %d decoded successfully", i, bit)
+			} else if !typedDecodeErr(err) {
+				t.Fatalf("bit flip at byte %d bit %d: untyped error %v", i, bit, err)
+			}
+		}
+	}
+}
+
+// TestDecodeRejectsPayloadCorruptionBehindValidCRC re-frames corrupted
+// payloads with a freshly computed checksum, so the damage reaches the
+// structural decoder and validator. Still: typed error or a valid
+// program, never a panic.
+func TestDecodeRejectsPayloadCorruptionBehindValidCRC(t *testing.T) {
+	enc := encodedGaxpy(t)
+	for i := len(bytecode.Magic) + 12; i < len(enc); i++ {
+		for _, v := range []byte{0x00, 0xff, enc[i] + 1} {
+			mut := bytes.Clone(enc)
+			mut[i] = v
+			reframe(mut)
+			if _, err := bytecode.Decode(mut); err != nil && !typedDecodeErr(err) {
+				t.Fatalf("payload byte %d = %#x: untyped error %v", i, v, err)
+			}
+		}
+	}
+}
+
+// reframe recomputes the payload CRC in place (the frame layout is
+// magic + version + length + crc + payload, all big-endian).
+func reframe(b []byte) {
+	payload := b[len(bytecode.Magic)+12:]
+	crc := crc32IEEE(payload)
+	off := len(bytecode.Magic) + 8
+	b[off] = byte(crc >> 24)
+	b[off+1] = byte(crc >> 16)
+	b[off+2] = byte(crc >> 8)
+	b[off+3] = byte(crc)
+}
+
+func crc32IEEE(b []byte) uint32 {
+	const poly = 0xedb88320
+	crc := ^uint32(0)
+	for _, x := range b {
+		crc ^= uint32(x)
+		for k := 0; k < 8; k++ {
+			if crc&1 != 0 {
+				crc = crc>>1 ^ poly
+			} else {
+				crc >>= 1
+			}
+		}
+	}
+	return ^crc
+}
+
+// TestDecodeRejectsWrongVersion bumps the frame version.
+func TestDecodeRejectsWrongVersion(t *testing.T) {
+	enc := encodedGaxpy(t)
+	mut := bytes.Clone(enc)
+	mut[len(bytecode.Magic)+3]++ // low byte of the version word
+	if _, err := bytecode.Decode(mut); !errors.Is(err, bytecode.ErrVersion) {
+		t.Fatalf("want ErrVersion, got %v", err)
+	}
+}
+
+// TestDecodeRejectsTrailingBytes: extra bytes after the declared payload
+// are malformed, not silently ignored.
+func TestDecodeRejectsTrailingBytes(t *testing.T) {
+	enc := append(encodedGaxpy(t), 0xAA)
+	if _, err := bytecode.Decode(enc); !errors.Is(err, bytecode.ErrMalformed) {
+		t.Fatalf("want ErrMalformed, got %v", err)
+	}
+}
+
+// TestDecodeBoundsHostileLengths hand-builds a frame whose payload
+// declares a multi-gigabyte string: the decoder must refuse without
+// attempting the allocation.
+func TestDecodeBoundsHostileLengths(t *testing.T) {
+	payload := []byte{0xff, 0xff, 0xff, 0xf0} // name length ~4 GiB
+	frame := []byte(bytecode.Magic)
+	frame = append(frame, 0, 0, 0, byte(bytecode.Version))
+	frame = append(frame, 0, 0, 0, byte(len(payload)))
+	crc := crc32IEEE(payload)
+	frame = append(frame, byte(crc>>24), byte(crc>>16), byte(crc>>8), byte(crc))
+	frame = append(frame, payload...)
+	if _, err := bytecode.Decode(frame); !errors.Is(err, bytecode.ErrTruncated) {
+		t.Fatalf("want ErrTruncated for a hostile length, got %v", err)
+	}
+}
+
+// FuzzDecode: any byte stream produces a typed error or a valid,
+// re-encodable program — never a panic.
+func FuzzDecode(f *testing.F) {
+	res, err := compiler.CompileSource(hpf.GaxpySource, compiler.Options{N: 32, Procs: 4, MemElems: 300})
+	if err != nil {
+		f.Fatal(err)
+	}
+	bc, err := bytecode.Compile(res.Program)
+	if err != nil {
+		f.Fatal(err)
+	}
+	enc := bytecode.Encode(bc)
+	f.Add(enc)
+	f.Add(enc[:len(enc)/2])
+	f.Add([]byte(bytecode.Magic))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := bytecode.Decode(data)
+		if err != nil {
+			if !typedDecodeErr(err) {
+				t.Fatalf("untyped decode error: %v", err)
+			}
+			return
+		}
+		// A stream that decodes must round-trip stably.
+		enc2 := bytecode.Encode(p)
+		p2, err := bytecode.Decode(enc2)
+		if err != nil {
+			t.Fatalf("re-encode of a decoded program does not decode: %v", err)
+		}
+		if !reflect.DeepEqual(p, p2) {
+			t.Fatal("re-encode round trip changed the program")
+		}
+	})
+}

@@ -234,22 +234,6 @@ func mutatedArrays(body []plan.Node) []string {
 	return order
 }
 
-// containsSumStore reports whether the body (recursively) performs a
-// SumStore, whose reductions force globally uniform iteration counts.
-func containsSumStore(body []plan.Node) bool {
-	for _, n := range body {
-		switch n := n.(type) {
-		case *plan.SumStore:
-			return true
-		case *plan.Loop:
-			if containsSumStore(n.Body) {
-				return true
-			}
-		}
-	}
-	return false
-}
-
 // doCheckpoint commits one checkpoint with cursor (nodeIdx, iter): array
 // snapshots and the manifest go to the slot epoch%2, then a barrier
 // makes the epoch globally committed before anyone can start the next

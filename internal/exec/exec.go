@@ -9,10 +9,10 @@ import (
 	"context"
 	"fmt"
 	"sort"
-	"strings"
 	"time"
 
 	"github.com/ooc-hpf/passion/internal/bufpool"
+	"github.com/ooc-hpf/passion/internal/bytecode"
 	"github.com/ooc-hpf/passion/internal/collio"
 	"github.com/ooc-hpf/passion/internal/iosim"
 	"github.com/ooc-hpf/passion/internal/matrix"
@@ -91,6 +91,15 @@ type Options struct {
 	// number. Chaos and test harnesses use it to crash, cancel or
 	// observe a run at a deterministic mid-run boundary.
 	CkptHook func(epoch int)
+	// Bytecode, when non-nil, executes the program through its compiled
+	// opcode stream (internal/bytecode) instead of walking the plan tree:
+	// a tight fetch-decode loop over preresolved slots replaces the
+	// per-node type switch and name lookups. The stream must have been
+	// compiled from this exact program — the fingerprints are verified
+	// before the run starts. Execution is semantically identical to the
+	// tree walk down to the bit: same I/O, messages, float operation
+	// order, checkpoint cursors and trace spans.
+	Bytecode *bytecode.Program
 }
 
 // mpOptions maps the execution options onto the message-passing
@@ -233,6 +242,15 @@ func run(ctx context.Context, p *plan.Program, mach sim.Config, opts Options, re
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	if opts.Bytecode != nil {
+		// Verify once, before any rank starts: a stream compiled from a
+		// different program would execute the wrong access pattern
+		// against this program's arrays.
+		if fp := plan.Fingerprint(p, nil); fp != opts.Bytecode.Fingerprint {
+			return nil, fmt.Errorf("exec: bytecode fingerprint %s does not match plan fingerprint %s",
+				opts.Bytecode.Fingerprint, fp)
+		}
+	}
 	mach.Procs = p.Procs
 	fs := opts.FS
 	if fs == nil {
@@ -327,7 +345,11 @@ func run(ctx context.Context, p *plan.Program, mach sim.Config, opts Options, re
 				proc.Barrier(ckptTag)
 			}
 		}
-		if err := in.runTop(p.Body, startNode, startIter); err != nil {
+		if opts.Bytecode != nil {
+			if err := in.runBytecode(opts.Bytecode, startNode, startIter); err != nil {
+				return err
+			}
+		} else if err := in.runTop(p.Body, startNode, startIter); err != nil {
 			return err
 		}
 		// A degraded run (lost parity during a fault) must restore full
@@ -451,6 +473,11 @@ type interp struct {
 	// writers holds per-array write-behind pipelines when
 	// Options.Runtime.WriteBehind is set.
 	writers map[string]*oocarray.SlabWriter
+
+	// bce is the bytecode executor when the run dispatches through a
+	// compiled opcode stream (Options.Bytecode); releaseBufs drains its
+	// slot tables alongside the interpreter's maps.
+	bce *bcExec
 }
 
 // newInterp builds the interpreter shell; initArrays creates the arrays.
@@ -617,7 +644,7 @@ func (in *interp) runTop(body []plan.Node, startNode, startIter int) error {
 		if i == startNode {
 			first = startIter
 		}
-		if isLoop && in.ckptSpec != nil && containsSumStore(loop.Body) {
+		if isLoop && in.ckptSpec != nil && plan.HasSumStore(loop.Body) {
 			// Iterate here instead of in run() so a checkpoint with
 			// cursor (i, v) can be committed between iterations. The
 			// SumStore restriction makes the trip count globally
@@ -665,16 +692,7 @@ func (in *interp) runTop(body []plan.Node, startNode, startIter int) error {
 }
 
 // nodeLabel names a plan node for the trace overlay track.
-func nodeLabel(n plan.Node) string {
-	switch n := n.(type) {
-	case *plan.Loop:
-		return "loop " + n.Var
-	case *plan.Redistribute:
-		return "redistribute " + n.Src + "->" + n.Dst
-	default:
-		return strings.TrimPrefix(fmt.Sprintf("%T", n), "*plan.")
-	}
-}
+func nodeLabel(n plan.Node) string { return plan.NodeLabel(n) }
 
 func (in *interp) runBody(body []plan.Node) error {
 	for _, n := range body {
@@ -1090,5 +1108,18 @@ func (in *interp) releaseBufs() {
 	}
 	for _, r := range in.readers {
 		r.Close()
+	}
+	if b := in.bce; b != nil {
+		for _, s := range b.bufs {
+			rel(s)
+		}
+		for _, s := range b.staging {
+			rel(s)
+		}
+		for _, r := range b.readers {
+			if r != nil {
+				r.Close()
+			}
+		}
 	}
 }

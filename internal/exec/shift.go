@@ -16,11 +16,27 @@ const shiftTagBase = 101
 // the boundary-column exchange with the neighboring processors, then a
 // slab sweep with column halos.
 func (in *interp) runShiftEwise(n *plan.ShiftEwise) error {
-	out, err := in.array(n.Out)
+	return in.runShiftCore(n.Out, collectShiftInputs(n.Expr, nil),
+		n.Lo, n.Hi, n.GhostLeft, n.GhostRight, n.Expr.Ops(),
+		func(c, rows, localCols, h0 int, halos map[string]*oocarray.ICLA, ghosts map[string][2][]float64) ([]float64, error) {
+			return in.evalShiftColumn(n.Expr, c, rows, localCols, h0, halos, ghosts)
+		})
+}
+
+// shiftEval evaluates the FORALL's expression for one output local
+// column, returning a pooled column the caller copies and releases.
+type shiftEval func(c, rows, localCols, h0 int, halos map[string]*oocarray.ICLA, ghosts map[string][2][]float64) ([]float64, error)
+
+// runShiftCore is the shifted-FORALL engine shared by the tree walk and
+// the bytecode executor: ghost exchange over inputs (in first-use order —
+// the order fixes the message tags), then the slab sweep with column
+// halos, calling eval per in-bounds column. opsPerElem is charged to the
+// compute clock for every evaluated column, phantom or not.
+func (in *interp) runShiftCore(outName string, inputs []string, lo, hi, ghostLeft, ghostRight, opsPerElem int, eval shiftEval) error {
+	out, err := in.array(outName)
 	if err != nil {
 		return err
 	}
-	inputs := collectShiftInputs(n.Expr, nil)
 	rows := out.LocalRows()
 	localCols := out.LocalCols()
 
@@ -38,19 +54,19 @@ func (in *interp) runShiftEwise(n *plan.ShiftEwise) error {
 			return fmt.Errorf("exec: shift input %q shape differs from output", name)
 		}
 		tag := shiftTagBase + 2*gi
-		// Send my last GhostLeft columns rightward (they are the right
-		// neighbor's left ghost) and my first GhostRight columns
+		// Send my last ghostLeft columns rightward (they are the right
+		// neighbor's left ghost) and my first ghostRight columns
 		// leftward.
-		if n.GhostLeft > 0 && rank < size-1 {
-			sec, err := arr.ReadSection(0, localCols-n.GhostLeft, rows, n.GhostLeft)
+		if ghostLeft > 0 && rank < size-1 {
+			sec, err := arr.ReadSection(0, localCols-ghostLeft, rows, ghostLeft)
 			if err != nil {
 				return err
 			}
 			in.proc.Send(rank+1, tag, sec.Data)
 			arr.Recycle(sec)
 		}
-		if n.GhostRight > 0 && rank > 0 {
-			sec, err := arr.ReadSection(0, 0, rows, n.GhostRight)
+		if ghostRight > 0 && rank > 0 {
+			sec, err := arr.ReadSection(0, 0, rows, ghostRight)
 			if err != nil {
 				return err
 			}
@@ -58,10 +74,10 @@ func (in *interp) runShiftEwise(n *plan.ShiftEwise) error {
 			arr.Recycle(sec)
 		}
 		var g [2][]float64
-		if n.GhostLeft > 0 && rank > 0 {
+		if ghostLeft > 0 && rank > 0 {
 			g[0] = in.proc.Recv(rank-1, tag)
 		}
-		if n.GhostRight > 0 && rank < size-1 {
+		if ghostRight > 0 && rank < size-1 {
 			g[1] = in.proc.Recv(rank+1, tag+1)
 		}
 		ghosts[name] = g
@@ -74,22 +90,22 @@ func (in *interp) runShiftEwise(n *plan.ShiftEwise) error {
 	}()
 
 	// Phase 2: slab sweep with column halos.
-	slb := in.slabbings[n.Out]
+	slb := in.slabbings[outName]
 	colMap := out.Dist().Dims[1]
 	for idx := 0; idx < slb.Count; idx++ {
 		// The output slab's previous contents are the base: columns
-		// outside [Lo, Hi] keep them.
+		// outside [lo, hi] keep them.
 		staging, err := out.ReadSlab(slb, idx)
 		if err != nil {
 			return err
 		}
 		c0, width := staging.ColOff, staging.Cols
 		// Halo sections of every input, clipped to the local block.
-		h0 := c0 - n.GhostLeft
+		h0 := c0 - ghostLeft
 		if h0 < 0 {
 			h0 = 0
 		}
-		hEnd := c0 + width + n.GhostRight
+		hEnd := c0 + width + ghostRight
 		if hEnd > localCols {
 			hEnd = localCols
 		}
@@ -107,10 +123,10 @@ func (in *interp) runShiftEwise(n *plan.ShiftEwise) error {
 		}
 		for c := c0; c < c0+width; c++ {
 			k := colMap.ToGlobal(rank, c)
-			if k < n.Lo || k > n.Hi {
+			if k < lo || k > hi {
 				continue
 			}
-			col, err := in.evalShiftColumn(n.Expr, c, rows, localCols, h0, halos, ghosts)
+			col, err := eval(c, rows, localCols, h0, halos, ghosts)
 			if err != nil {
 				return err
 			}
@@ -118,7 +134,7 @@ func (in *interp) runShiftEwise(n *plan.ShiftEwise) error {
 				copy(staging.Col(c-c0), col)
 			}
 			bufpool.PutF64(col)
-			in.proc.Compute(int64(n.Expr.Ops()) * int64(rows))
+			in.proc.Compute(int64(opsPerElem) * int64(rows))
 		}
 		if err := out.WriteSection(staging); err != nil {
 			return err
